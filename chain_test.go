@@ -1,0 +1,113 @@
+package sparta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvalChainMatchesManual(t *testing.T) {
+	a := Random([]uint64{6, 5, 4}, 50, 31)
+	b := Random([]uint64{4, 7}, 25, 32)
+	c := Random([]uint64{7, 3}, 15, 33)
+	aSnap, bSnap, cSnap := a.Clone(), b.Clone(), c.Clone()
+
+	res, err := EvalChain([]ChainStep{
+		{Out: "W", Spec: "abe,ec->abc", X: "A", Y: "B"},
+		{Out: "Z", Spec: "abc,cd->abd", X: "W", Y: "C"},
+	}, map[string]*Tensor{"A": a, "B": b, "C": c}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	w1, _, err := Einsum("abe,ec->abc", a, b, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := Einsum("abc,cd->abd", w1, c, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Tensors["Z"]
+	if got.NNZ() != want.NNZ() {
+		t.Fatalf("nnz %d vs %d", got.NNZ(), want.NNZ())
+	}
+	for i := 0; i < got.NNZ(); i++ {
+		if math.Abs(got.Vals[i]-want.Vals[i]) > 1e-9 {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+	// Inputs must be untouched (still original storage & values).
+	if !a.Equal(aSnap) || !b.Equal(bSnap) || !c.Equal(cSnap) {
+		t.Fatal("inputs mutated")
+	}
+	// All names resolvable.
+	for _, name := range []string{"A", "B", "C", "W", "Z"} {
+		if res.Tensors[name] == nil {
+			t.Fatalf("%q missing from results", name)
+		}
+	}
+}
+
+func TestEvalChainSelfContraction(t *testing.T) {
+	a := Random([]uint64{5, 4}, 18, 34)
+	res, err := EvalChain([]ChainStep{
+		{Out: "G", Spec: "ab,cb->ac", X: "A", Y: "A"},
+		{Out: "n", Spec: "ac,ac->", X: "G", Y: "G"},
+	}, map[string]*Tensor{"A": a}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := res.Tensors["n"]
+	if n.Dims[0] != 1 {
+		t.Fatalf("scalar dims = %v", n.Dims)
+	}
+	// The Gram-matrix norm must be positive for a non-trivial A.
+	if n.NNZ() != 1 || n.Vals[0] <= 0 {
+		t.Fatalf("|G|^2 = %v", n.Vals)
+	}
+}
+
+func TestEvalChainErrors(t *testing.T) {
+	a := Random([]uint64{4, 4}, 10, 35)
+	in := map[string]*Tensor{"A": a}
+	cases := []struct {
+		name  string
+		steps []ChainStep
+	}{
+		{"empty", nil},
+		{"undefined X", []ChainStep{{Out: "Z", Spec: "ab,bc->ac", X: "Q", Y: "A"}}},
+		{"undefined Y", []ChainStep{{Out: "Z", Spec: "ab,bc->ac", X: "A", Y: "Q"}}},
+		{"redefines", []ChainStep{{Out: "A", Spec: "ab,bc->ac", X: "A", Y: "A"}}},
+		{"no out", []ChainStep{{Spec: "ab,bc->ac", X: "A", Y: "A"}}},
+		{"bad spec", []ChainStep{{Out: "Z", Spec: "nope", X: "A", Y: "A"}}},
+	}
+	for _, c := range cases {
+		if _, err := EvalChain(c.steps, in, Options{Algorithm: AlgSparta}); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := EvalChain([]ChainStep{{Out: "Z", Spec: "ab,bc->ac", X: "A", Y: "A"}},
+		map[string]*Tensor{"A": nil}, Options{}); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+// TestEvalChainInPlaceSafety: an intermediate used twice later must not be
+// corrupted by the in-place optimization.
+func TestEvalChainInPlaceSafety(t *testing.T) {
+	a := Random([]uint64{5, 5}, 20, 36)
+	res, err := EvalChain([]ChainStep{
+		{Out: "W", Spec: "ab,bc->ac", X: "A", Y: "A"},
+		{Out: "P", Spec: "ac,cd->ad", X: "W", Y: "A"}, // W used here...
+		{Out: "Q", Spec: "ac,cd->ad", X: "W", Y: "A"}, // ...and here
+	}, map[string]*Tensor{"A": a}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := res.Tensors["P"], res.Tensors["Q"]
+	if !p.Equal(q) {
+		t.Fatal("repeated use of an intermediate gave different results")
+	}
+}

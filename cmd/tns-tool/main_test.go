@@ -1,0 +1,91 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sparta"
+)
+
+func write(t *testing.T, path string, ten *sparta.Tensor) {
+	t.Helper()
+	if err := save(ten, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	x := sparta.Random([]uint64{6, 5, 4}, 50, 1)
+	tns := filepath.Join(dir, "x.tns")
+	bin := filepath.Join(dir, "x.bin")
+	write(t, tns, x)
+
+	if err := run([]string{"stat", tns}); err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if err := run([]string{"head", "-n", "3", tns}); err != nil {
+		t.Fatalf("head: %v", err)
+	}
+	if err := run([]string{"convert", "-o", bin, tns}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	back, err := load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != x.NNZ() {
+		t.Fatalf("convert lost non-zeros: %d vs %d", back.NNZ(), x.NNZ())
+	}
+
+	sorted := filepath.Join(dir, "sorted.tns")
+	if err := run([]string{"sort", "-o", sorted, tns}); err != nil {
+		t.Fatalf("sort: %v", err)
+	}
+	s, _ := load(sorted)
+	if !s.IsSorted() {
+		t.Fatal("sort output unsorted")
+	}
+
+	perm := filepath.Join(dir, "perm.tns")
+	if err := run([]string{"permute", "-perm", "2,0,1", "-o", perm, tns}); err != nil {
+		t.Fatalf("permute: %v", err)
+	}
+	p, _ := load(perm)
+	if p.Dims[0] != 4 || p.Dims[1] != 6 || p.Dims[2] != 5 {
+		t.Fatalf("permute dims = %v", p.Dims)
+	}
+
+	// diff: identical files pass, different values fail.
+	if err := run([]string{"diff", tns, bin}); err != nil {
+		t.Fatalf("diff identical: %v", err)
+	}
+	y := x.Clone()
+	y.Vals[0] += 1
+	other := filepath.Join(dir, "y.tns")
+	write(t, other, y)
+	if err := run([]string{"diff", tns, other}); err == nil {
+		t.Fatal("diff missed a value change")
+	}
+	if err := run([]string{"diff", "-tol", "2", tns, other}); err != nil {
+		t.Fatalf("diff with tolerance: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"stat", "/nonexistent.tns"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"sort", "x.tns"}); err == nil {
+		t.Error("sort without -o accepted")
+	}
+	if err := run([]string{"permute", "-perm", "a,b", "-o", "/tmp/x.tns", "x.tns"}); err == nil {
+		t.Error("bad permutation accepted")
+	}
+}

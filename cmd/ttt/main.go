@@ -1,0 +1,155 @@
+// Command ttt performs one sparse tensor contraction between two .tns
+// files, mirroring the original Sparta artifact's tool of the same name:
+//
+//	ttt -X x.tns -Y y.tns -m 2 -x 2,3 -y 0,1 [-Z out.tns] [-t 12]
+//
+// The algorithm is selected by the EXPERIMENT_MODES environment variable,
+// exactly like the artifact:
+//
+//	EXPERIMENT_MODES=0  COOY + SPA   (SpTC-SPA baseline)
+//	EXPERIMENT_MODES=1  COOY + HtA
+//	EXPERIMENT_MODES=2  two-phase (symbolic + numeric) SpTC
+//	EXPERIMENT_MODES=3  HtY  + HtA   (Sparta; the default)
+//	EXPERIMENT_MODES=4  HtY  + HtA with the simulated Optane placement
+//	                    report printed after the run
+//
+// It prints the five-stage timing breakdown and operation counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sparta"
+	"sparta/internal/hetmem"
+	"sparta/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ttt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		xPath   = flag.String("X", "", "first input tensor (.tns)")
+		yPath   = flag.String("Y", "", "second input tensor (.tns)")
+		zPath   = flag.String("Z", "", "output tensor path (optional)")
+		nmodes  = flag.Int("m", 0, "number of contract modes")
+		xModes  = flag.String("x", "", "contract modes for X, comma separated (0-based)")
+		yModes  = flag.String("y", "", "contract modes for Y, comma separated (0-based)")
+		threads = flag.Int("t", 0, "worker threads (0 = all cores)")
+		noSort  = flag.Bool("nosort", false, "skip output sorting")
+	)
+	flag.Parse()
+	if *xPath == "" || *yPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-X and -Y are required")
+	}
+	cmX, err := parseModes(*xModes)
+	if err != nil {
+		return fmt.Errorf("-x: %w", err)
+	}
+	cmY, err := parseModes(*yModes)
+	if err != nil {
+		return fmt.Errorf("-y: %w", err)
+	}
+	if *nmodes > 0 && (len(cmX) != *nmodes || len(cmY) != *nmodes) {
+		return fmt.Errorf("-m %d does not match -x/-y arity (%d/%d)", *nmodes, len(cmX), len(cmY))
+	}
+
+	alg := sparta.AlgSparta
+	simulateHM := false
+	switch os.Getenv("EXPERIMENT_MODES") {
+	case "", "3":
+	case "0":
+		alg = sparta.AlgSPA
+	case "1":
+		alg = sparta.AlgCOOHtA
+	case "2":
+		alg = sparta.AlgTwoPhase
+	case "4":
+		simulateHM = true
+	default:
+		return fmt.Errorf("unsupported EXPERIMENT_MODES %q (use 0, 1, 2, 3, or 4)", os.Getenv("EXPERIMENT_MODES"))
+	}
+
+	x, err := sparta.LoadTNS(*xPath)
+	if err != nil {
+		return err
+	}
+	y, err := sparta.LoadTNS(*yPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("X: %v\nY: %v\n", x, y)
+
+	z, rep, err := sparta.Contract(x, y, cmX, cmY, sparta.Options{
+		Algorithm:      alg,
+		Threads:        *threads,
+		SkipOutputSort: *noSort,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Z: %v\n\n", z)
+
+	tab := stats.NewTable("Stage", "Wall", "Share")
+	total := rep.Total()
+	for s := sparta.Stage(0); s < sparta.NumStages; s++ {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(rep.StageWall[s]) / float64(total)
+		}
+		tab.Row(s.String(), rep.StageWall[s], fmt.Sprintf("%.1f%%", share))
+	}
+	tab.Row("Total", total, "100%")
+	tab.Render(os.Stdout)
+
+	fmt.Printf("\nalgorithm=%v threads=%d nnzX=%d nnzY=%d nnzZ=%d NF=%d\n",
+		rep.Algorithm, rep.Threads, rep.NNZX, rep.NNZY, rep.NNZZ, rep.NF)
+	fmt.Printf("probesHtY=%d searchSteps=%d products=%d accumHits=%d accumMiss=%d\n",
+		rep.ProbesHtY, rep.SearchSteps, rep.Products, rep.AccumHits, rep.AccumMiss)
+
+	if simulateHM {
+		pf := sparta.ProfileFromReport(rep, x.Order(), y.Order(), z.Order())
+		dram := pf.PeakBytes() / 4
+		fmt.Printf("\nSimulated heterogeneous memory (DRAM budget %s of %s peak):\n",
+			stats.FormatBytes(dram), stats.FormatBytes(pf.PeakBytes()))
+		hm := stats.NewTable("Policy", "Simulated time", "Speedup vs Optane-only")
+		opt := (hetmem.OptaneOnly{}).Evaluate(pf, dram).Total
+		for _, pol := range sparta.MemPolicies() {
+			r := pol.Evaluate(pf, dram)
+			hm.Row(r.Policy, r.Total, stats.Speedup(opt, r.Total))
+		}
+		hm.Render(os.Stdout)
+	}
+
+	if *zPath != "" {
+		if err := z.SaveTNS(*zPath); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *zPath)
+	}
+	return nil
+}
+
+func parseModes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty mode list")
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad mode %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sparta"
+)
+
+func TestParseModes(t *testing.T) {
+	got, err := parseModes("2, 3")
+	if err != nil || len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("parseModes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "1,,2", "1,x"} {
+		if _, err := parseModes(bad); err == nil {
+			t.Errorf("parseModes(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEndToEnd exercises the full tool path: write tensors, contract via
+// the run() pipeline, and reload the output.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	x := sparta.Random([]uint64{8, 6, 5}, 60, 1)
+	y := sparta.Random([]uint64{5, 7}, 20, 2)
+	xp := filepath.Join(dir, "x.tns")
+	yp := filepath.Join(dir, "y.tns")
+	zp := filepath.Join(dir, "z.tns")
+	if err := x.SaveTNS(xp); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.SaveTNS(yp); err != nil {
+		t.Fatal(err)
+	}
+	os.Args = []string{"ttt", "-X", xp, "-Y", yp, "-Z", zp, "-m", "1", "-x", "2", "-y", "0"}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	z, err := sparta.LoadTNS(zp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := sparta.Contract(x, y, []int{2}, []int{0}, sparta.Options{Algorithm: sparta.AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NNZ() != want.NNZ() {
+		t.Fatalf("tool output nnz %d, want %d", z.NNZ(), want.NNZ())
+	}
+}

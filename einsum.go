@@ -1,0 +1,158 @@
+package sparta
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Einsum contracts two sparse tensors with Einstein-summation notation, the
+// interface chemistry codes express contractions in (e.g. the paper's §2.2
+// walk-through is "abef,efcd->abcd"):
+//
+//	z, rep, err := sparta.Einsum("abef,efcd->abcd", x, y, opts)
+//
+// Rules: exactly two inputs and one output; every label names one mode
+// (one letter per mode, case-sensitive); a label shared by both inputs and
+// absent from the output is contracted; every other input label must appear
+// in the output exactly once. Repeated labels within one operand (traces)
+// are not supported — the paper's SpTC covers mode-({n},{m}) products.
+//
+// The output mode order follows the spec's right-hand side; when it differs
+// from the engine's natural order (X's free modes then Y's), the result is
+// permuted and re-sorted.
+func Einsum(spec string, x, y *Tensor, opt Options) (*Tensor, *Report, error) {
+	ein, err := parseEinsum(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ein.x) != x.Order() {
+		return nil, nil, fmt.Errorf("einsum: spec %q gives X %d modes, tensor has %d", spec, len(ein.x), x.Order())
+	}
+	if len(ein.y) != y.Order() {
+		return nil, nil, fmt.Errorf("einsum: spec %q gives Y %d modes, tensor has %d", spec, len(ein.y), y.Order())
+	}
+	z, rep, err := Contract(x, y, ein.cmodesX, ein.cmodesY, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ein.identityOut {
+		if err := z.Permute(ein.outPerm); err != nil {
+			return nil, nil, err
+		}
+		if !opt.SkipOutputSort {
+			z.Sort(opt.Threads)
+		}
+	}
+	return z, rep, nil
+}
+
+// einsumPlan is the parsed form of an einsum spec.
+type einsumPlan struct {
+	x, y, out        []rune
+	cmodesX, cmodesY []int
+	outPerm          []int // Z permutation from natural (FX++FY) order to spec order
+	identityOut      bool
+}
+
+func parseEinsum(spec string) (*einsumPlan, error) {
+	spec = strings.ReplaceAll(spec, " ", "")
+	parts := strings.Split(spec, "->")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("einsum: spec %q needs exactly one '->'", spec)
+	}
+	ins := strings.Split(parts[0], ",")
+	if len(ins) != 2 {
+		return nil, fmt.Errorf("einsum: spec %q needs exactly two inputs", spec)
+	}
+	p := &einsumPlan{x: []rune(ins[0]), y: []rune(ins[1]), out: []rune(parts[1])}
+	if len(p.x) == 0 || len(p.y) == 0 {
+		return nil, fmt.Errorf("einsum: empty operand in %q", spec)
+	}
+	for _, set := range [][]rune{p.x, p.y, p.out} {
+		seen := map[rune]bool{}
+		for _, r := range set {
+			if !isEinsumLabel(r) {
+				return nil, fmt.Errorf("einsum: invalid label %q in %q", r, spec)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("einsum: repeated label %q within one operand of %q (traces unsupported)", r, spec)
+			}
+			seen[r] = true
+		}
+	}
+	posX := map[rune]int{}
+	for i, r := range p.x {
+		posX[r] = i
+	}
+	posY := map[rune]int{}
+	for i, r := range p.y {
+		posY[r] = i
+	}
+	outSet := map[rune]bool{}
+	for _, r := range p.out {
+		outSet[r] = true
+	}
+
+	// Contracted labels: in both inputs, not in the output.
+	for _, r := range p.x {
+		yi, shared := posY[r]
+		switch {
+		case shared && !outSet[r]:
+			p.cmodesX = append(p.cmodesX, posX[r])
+			p.cmodesY = append(p.cmodesY, yi)
+		case shared && outSet[r]:
+			return nil, fmt.Errorf("einsum: label %q is shared by both inputs and kept in the output (batched modes unsupported)", r)
+		case !shared && !outSet[r]:
+			return nil, fmt.Errorf("einsum: label %q of X appears in neither Y nor the output", r)
+		}
+	}
+	if len(p.cmodesX) == 0 {
+		return nil, fmt.Errorf("einsum: %q contracts no modes", spec)
+	}
+	for _, r := range p.y {
+		if _, shared := posX[r]; !shared && !outSet[r] {
+			return nil, fmt.Errorf("einsum: label %q of Y appears in neither X nor the output", r)
+		}
+	}
+
+	// Natural output order: X free labels (original order) then Y free.
+	var natural []rune
+	for _, r := range p.x {
+		if outSet[r] {
+			natural = append(natural, r)
+		}
+	}
+	for _, r := range p.y {
+		if outSet[r] {
+			natural = append(natural, r)
+		}
+	}
+	if len(natural) != len(p.out) {
+		return nil, fmt.Errorf("einsum: output %q does not cover the free labels %q", string(p.out), string(natural))
+	}
+	natPos := map[rune]int{}
+	for i, r := range natural {
+		natPos[r] = i
+	}
+	p.identityOut = true
+	p.outPerm = make([]int, len(p.out))
+	for i, r := range p.out {
+		j, ok := natPos[r]
+		if !ok {
+			return nil, fmt.Errorf("einsum: output label %q is not a free label", r)
+		}
+		p.outPerm[i] = j
+		if i != j {
+			p.identityOut = false
+		}
+	}
+	if len(p.out) == 0 {
+		// Scalar result: Z is the 1-mode size-1 tensor; nothing to permute.
+		p.identityOut = true
+	}
+	return p, nil
+}
+
+func isEinsumLabel(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}

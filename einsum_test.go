@@ -1,0 +1,110 @@
+package sparta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEinsumMatchesContract(t *testing.T) {
+	x := Random([]uint64{5, 6, 4, 3}, 60, 1)
+	y := Random([]uint64{4, 3, 5, 5}, 60, 2)
+	want, _, err := Contract(x, y, []int{2, 3}, []int{0, 1}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := Einsum("abef,efcd->abcd", x, y, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || !got.Equal(want) {
+		t.Fatal("einsum result differs from explicit contraction")
+	}
+}
+
+func TestEinsumOutputPermutation(t *testing.T) {
+	x := Random([]uint64{5, 6, 4}, 40, 3)
+	y := Random([]uint64{4, 7}, 20, 4)
+	// Natural order would be a,b,c; request c,a,b.
+	z, _, err := Einsum("abe,ec->cab", x, y, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Dims) != 3 || z.Dims[0] != 7 || z.Dims[1] != 5 || z.Dims[2] != 6 {
+		t.Fatalf("permuted dims = %v", z.Dims)
+	}
+	if !z.IsSorted() {
+		t.Fatal("permuted output not re-sorted")
+	}
+	// Cross-check one value against the natural order result.
+	nat, _, err := Einsum("abe,ec->abc", x, y, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.NNZ() != z.NNZ() {
+		t.Fatalf("nnz %d vs %d", nat.NNZ(), z.NNZ())
+	}
+	ref := map[[3]uint32]float64{}
+	for i := 0; i < nat.NNZ(); i++ {
+		ref[[3]uint32{nat.Inds[0][i], nat.Inds[1][i], nat.Inds[2][i]}] = nat.Vals[i]
+	}
+	for i := 0; i < z.NNZ(); i++ {
+		k := [3]uint32{z.Inds[1][i], z.Inds[2][i], z.Inds[0][i]} // (a,b,c) from (c,a,b)
+		if math.Abs(ref[k]-z.Vals[i]) > 1e-12 {
+			t.Fatalf("value mismatch at %v", k)
+		}
+	}
+}
+
+func TestEinsumScalar(t *testing.T) {
+	x := Random([]uint64{4, 5}, 10, 5)
+	y := Random([]uint64{4, 5}, 10, 6)
+	z, _, err := Einsum("ab,ab->", x, y, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Dims) != 1 || z.Dims[0] != 1 {
+		t.Fatalf("scalar dims = %v", z.Dims)
+	}
+}
+
+func TestEinsumSpecErrors(t *testing.T) {
+	x := Random([]uint64{4, 5}, 10, 7)
+	y := Random([]uint64{5, 4}, 10, 8)
+	bad := []string{
+		"ab->ab",       // one input
+		"ab,bc",        // no output
+		"ab,bc->ac->x", // two arrows
+		"a1,bc->ac",    // invalid label
+		"aa,ab->ab",    // trace
+		"ab,bc->abc",   // contracted label kept... b shared & in out
+		"ab,cd->abcd",  // nothing contracted
+		"ab,bc->a",     // free label c dropped
+		"ab,bc->acx",   // unknown output label
+		"abc,bc->a",    // X arity mismatch (tensor is order 2)
+		"ab,bcd->acd",  // Y arity mismatch
+		",ab->ab",      // empty operand
+	}
+	for _, spec := range bad {
+		if _, _, err := Einsum(spec, x, y, Options{Algorithm: AlgSparta}); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestEinsumSpacesTolerated(t *testing.T) {
+	x := Random([]uint64{4, 5}, 10, 9)
+	y := Random([]uint64{5, 3}, 10, 10)
+	if _, _, err := Einsum("ab, bc -> ac", x, y, Options{Algorithm: AlgSparta}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEinsumDimMismatch(t *testing.T) {
+	x := Random([]uint64{4, 5}, 10, 11)
+	y := Random([]uint64{6, 3}, 10, 12)
+	_, _, err := Einsum("ab,bc->ac", x, y, Options{Algorithm: AlgSparta})
+	if err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("dim mismatch not reported: %v", err)
+	}
+}

@@ -1,0 +1,80 @@
+// Heterogeneous-memory placement planning: run a contraction, record the
+// access profile of the six data objects (X, Y, HtY, HtA, Zlocal, Z), and
+// compare the §4.2 static Sparta placement against dynamic
+// application-agnostic policies on a simulated DRAM+Optane system.
+//
+//	go run ./examples/hetmem
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sparta"
+	"sparta/internal/hetmem"
+	"sparta/internal/stats"
+)
+
+func main() {
+	p, err := sparta.FindPreset("Nell-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := sparta.GeneratePreset(p, 20000, 3)
+	w := sparta.Workload{Preset: p, Modes: 2}
+	cx, cy := w.ContractModes()
+	fmt.Printf("workload: %s on %v\n\n", w.Name(), x)
+
+	z, rep, err := sparta.Contract(x, x, cx, cy, sparta.Options{Algorithm: sparta.AlgSparta})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf := sparta.ProfileFromReport(rep, x.Order(), x.Order(), z.Order())
+
+	// Per-object sizes and the Eq. 5/6 estimates the planner uses before
+	// the structures exist.
+	fmt.Println("data-object sizes (measured) and planner estimates:")
+	tab := stats.NewTable("Object", "Measured", "Planned with")
+	for o := hetmem.Object(0); o < hetmem.NumObjects; o++ {
+		tab.Row(o.String(), stats.FormatBytes(pf.Sizes[o]), stats.FormatBytes(pf.EstSizes[o]))
+	}
+	tab.Render(os.Stdout)
+	fmt.Printf("peak: %s\n\n", stats.FormatBytes(pf.PeakBytes()))
+
+	// The static plan at a DRAM budget of a quarter of peak, in the
+	// paper's priority order HtY > HtA > Zlocal > Z (X, Y stay on PMM).
+	dram := pf.PeakBytes() / 4
+	frac := hetmem.PlanStatic(pf.EstSizes, dram, hetmem.SpartaPriority)
+	fmt.Printf("static plan with %s DRAM:\n", stats.FormatBytes(dram))
+	for o := hetmem.Object(0); o < hetmem.NumObjects; o++ {
+		where := "PMM"
+		switch {
+		case frac[o] >= 1:
+			where = "DRAM"
+		case frac[o] > 0:
+			where = fmt.Sprintf("%.0f%% DRAM", 100*frac[o])
+		}
+		fmt.Printf("  %-8s -> %s\n", o, where)
+	}
+
+	// Policy comparison (simulated): Sparta vs IAL vs Memory mode vs the
+	// extremes.
+	fmt.Println("\nsimulated policy comparison:")
+	cmp := stats.NewTable("Policy", "Simulated time", "Speedup vs Optane-only", "Migrated")
+	opt := (hetmem.OptaneOnly{}).Evaluate(pf, dram).Total
+	for _, pol := range sparta.MemPolicies() {
+		r := pol.Evaluate(pf, dram)
+		cmp.Row(r.Policy, r.Total, fmt.Sprintf("%.2fx", stats.Speedup(opt, r.Total)),
+			stats.FormatBytes(r.MigratedBytes))
+	}
+	cmp.Render(os.Stdout)
+
+	// Bandwidth trace excerpt for the static plan (Fig. 8 flavor).
+	r := (hetmem.SpartaStatic{}).Evaluate(pf, dram)
+	pts := hetmem.BandwidthTrace(r, 10)
+	fmt.Println("\nbandwidth trace (Sparta placement):")
+	for _, pt := range pts {
+		fmt.Printf("  t=%-10v DRAM %6.2f GB/s   PMM %6.2f GB/s\n", pt.At, pt.DRAM, pt.PMM)
+	}
+}

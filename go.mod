@@ -1,0 +1,3 @@
+module sparta
+
+go 1.22

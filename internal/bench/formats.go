@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sparta/internal/csf"
+	"sparta/internal/hicoo"
+	"sparta/internal/stats"
+)
+
+// Formats compares sparse-tensor storage formats on the evaluation
+// datasets: COO (what Sparta computes on), CSF (§3.2's alternative), and
+// HiCOO (the paper's declared future-work compression for X) at several
+// block widths. Reports footprints and full-scan throughput — the
+// trade-off behind the related-work section's "orthogonal to the tensor
+// format works" remark.
+func Formats(w io.Writer, c Config) error {
+	fmt.Fprintln(w, "Storage formats: footprint and full-scan throughput")
+	tab := stats.NewTable("Tensor", "Format", "Bytes", "B/nnz", "Blocks", "Scan")
+	for _, name := range []string{"Chicago", "Uracil", "NIPS", "Vast"} {
+		p := mustPreset(name)
+		u := c.Tensor(p)
+		nnz := float64(u.NNZ())
+
+		t0 := time.Now()
+		var sink float64
+		for i := 0; i < u.NNZ(); i++ {
+			sink += u.Vals[i]
+		}
+		cooScan := time.Since(t0)
+		tab.Row(name, "COO", stats.FormatBytes(u.Bytes()),
+			fmt.Sprintf("%.1f", float64(u.Bytes())/nnz), "-", cooScan)
+
+		cs, err := csf.FromCOO(u)
+		if err != nil {
+			return err
+		}
+		t0 = time.Now()
+		cs.ToCOO() // CSF scan = tree expansion
+		csfScan := time.Since(t0)
+		tab.Row(name, "CSF", stats.FormatBytes(cs.Bytes()),
+			fmt.Sprintf("%.1f", float64(cs.Bytes())/nnz), "-", csfScan)
+
+		for _, bits := range []uint{4, 6, 8} {
+			h, err := hicoo.FromCOO(u, bits)
+			if err != nil {
+				return err
+			}
+			t0 = time.Now()
+			h.Scan(func(_ []uint32, v float64) { sink += v })
+			hScan := time.Since(t0)
+			tab.Row(name, fmt.Sprintf("HiCOO B=2^%d", bits),
+				stats.FormatBytes(h.Bytes()),
+				fmt.Sprintf("%.1f", float64(h.Bytes())/nnz),
+				fmt.Sprintf("%d (avg %.1f nnz)", h.NumBlocks(), h.AvgBlockNNZ()),
+				hScan)
+		}
+		_ = sink
+	}
+	tab.Render(w)
+	fmt.Fprintln(w, "(HiCOO compresses when blocks are dense — the Uracil regime; scattered tensors pay for block headers)")
+	return nil
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"sparta/internal/core"
+	"sparta/internal/gen"
+	"sparta/internal/stats"
+)
+
+// TwoPhase compares Sparta's dynamic output allocation against the
+// traditional symbolic+numeric two-phase SpTC (§3.2's rejected alternative
+// [47]) across the Figure 4 workloads. The paper's argument: since
+// applications compute each SpTC only once, the symbolic pass is pure
+// overhead; the only thing it buys is eliminating the Zlocal buffers and
+// the gather. Both columns of that trade are reported.
+func TwoPhase(w io.Writer, c Config) error {
+	fmt.Fprintln(w, "Two-phase (symbolic+numeric) vs Sparta's dynamic allocation")
+	tab := stats.NewTable("Workload", "Sparta", "TwoPhase", "Symbolic share", "Sparta slowdown", "Zlocal saved")
+	var slow []float64
+	for _, wl := range gen.Fig4Workloads() {
+		_, repS, err := c.RunWorkload(wl, core.AlgSparta)
+		if err != nil {
+			return err
+		}
+		_, repT, err := c.RunWorkload(wl, core.AlgTwoPhase)
+		if err != nil {
+			return err
+		}
+		symShare := 0.0
+		if t := repT.Total(); t > 0 {
+			symShare = 100 * float64(repT.Symbolic) / float64(t)
+		}
+		s := stats.Speedup(repT.Total(), repS.Total())
+		slow = append(slow, s)
+		tab.Row(wl.Name(), repS.Total(), repT.Total(),
+			fmt.Sprintf("%.1f%%", symShare),
+			fmt.Sprintf("%.2fx", s),
+			stats.FormatBytes(repS.BytesZLocal))
+	}
+	tab.Render(w)
+	fmt.Fprintf(w, "Sparta over two-phase: geomean %.2fx (the symbolic pass re-runs the whole "+
+		"search+accumulation structure; its payoff is only the Zlocal memory in the last column)\n",
+		stats.GeoMean(slow))
+	return nil
+}

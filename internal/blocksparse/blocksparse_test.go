@@ -1,0 +1,260 @@
+package blocksparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparta/internal/dense"
+)
+
+// randomBlockTensor fills a fraction of the sector tuples with random dense
+// blocks.
+func randomBlockTensor(t *testing.T, parts [][]uint64, nblocks int, seed int64) *Tensor {
+	t.Helper()
+	bt, err := New(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	secCount := make([]int, len(parts))
+	possible := 1
+	for m := range parts {
+		secCount[m] = len(parts[m])
+		possible *= secCount[m]
+	}
+	if nblocks > possible {
+		nblocks = possible
+	}
+	tried := map[uint64]bool{}
+	sec := make([]uint32, len(parts))
+	for placed := 0; placed < nblocks; {
+		key := uint64(0)
+		for m := range sec {
+			sec[m] = uint32(rng.Intn(secCount[m]))
+			key = key*uint64(secCount[m]) + uint64(sec[m])
+		}
+		if tried[key] {
+			continue
+		}
+		tried[key] = true
+		data := make([]float64, bt.BlockElems(sec))
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		if err := bt.SetBlock(sec, data); err != nil {
+			t.Fatal(err)
+		}
+		placed++
+	}
+	return bt
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("no modes accepted")
+	}
+	if _, err := New([][]uint64{{}}); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if _, err := New([][]uint64{{2, 0}}); err == nil {
+		t.Error("zero sector accepted")
+	}
+}
+
+func TestSetGetBlock(t *testing.T) {
+	bt, _ := New([][]uint64{{2, 3}, {4}})
+	if err := bt.SetBlock([]uint32{1, 0}, make([]float64, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.SetBlock([]uint32{1, 0}, make([]float64, 5)); err == nil {
+		t.Error("wrong data length accepted")
+	}
+	if err := bt.SetBlock([]uint32{2, 0}, make([]float64, 8)); err == nil {
+		t.Error("sector out of range accepted")
+	}
+	if err := bt.SetBlock([]uint32{1}, nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if bt.GetBlock([]uint32{1, 0}) == nil {
+		t.Error("stored block not found")
+	}
+	if bt.GetBlock([]uint32{0, 0}) != nil {
+		t.Error("phantom block")
+	}
+	if bt.NumBlocks() != 1 {
+		t.Errorf("NumBlocks = %d", bt.NumBlocks())
+	}
+}
+
+func TestDimsAndElems(t *testing.T) {
+	bt, _ := New([][]uint64{{2, 3}, {4, 1}})
+	d := bt.Dims()
+	if d[0] != 5 || d[1] != 5 {
+		t.Fatalf("dims = %v", d)
+	}
+	if got := bt.BlockElems([]uint32{1, 0}); got != 12 {
+		t.Fatalf("BlockElems = %d", got)
+	}
+	bd := bt.BlockDims([]uint32{0, 1})
+	if bd[0] != 2 || bd[1] != 1 {
+		t.Fatalf("BlockDims = %v", bd)
+	}
+}
+
+func TestToCOOAndNNZ(t *testing.T) {
+	bt, _ := New([][]uint64{{2, 2}, {3}})
+	data := []float64{1, 0, 2, 1e-10, -3, 0}
+	if err := bt.SetBlock([]uint32{1, 0}, data); err != nil {
+		t.Fatal(err)
+	}
+	if got := bt.NNZ(1e-8); got != 3 {
+		t.Fatalf("NNZ = %d", got)
+	}
+	s := bt.ToCOO(1e-8)
+	if s.NNZ() != 3 {
+		t.Fatalf("COO nnz = %d", s.NNZ())
+	}
+	// Block (1,0) covers rows 2-3, cols 0-2: check global offsets.
+	d, err := dense.FromCOO(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At([]uint32{2, 0}) != 1 || d.At([]uint32{2, 2}) != 2 || d.At([]uint32{3, 1}) != -3 {
+		t.Fatal("global coordinates wrong")
+	}
+}
+
+// toDense materializes the block tensor for reference comparison.
+func toDense(t *testing.T, bt *Tensor) *dense.Tensor {
+	t.Helper()
+	d, err := dense.FromCOO(bt.ToCOO(0), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestContractMatchesDense(t *testing.T) {
+	cases := []struct {
+		partsX, partsY [][]uint64
+		cmX, cmY       []int
+	}{
+		{ // matrix multiply with ragged sectors
+			[][]uint64{{2, 3}, {1, 2, 2}},
+			[][]uint64{{1, 2, 2}, {4}},
+			[]int{1}, []int{0},
+		},
+		{ // order-3 × order-3 over two modes
+			[][]uint64{{2, 2}, {3, 1}, {2}},
+			[][]uint64{{3, 1}, {2}, {2, 3}},
+			[]int{1, 2}, []int{0, 1},
+		},
+		{ // non-adjacent, scrambled pairing
+			[][]uint64{{2}, {2, 2}, {3}},
+			[][]uint64{{3}, {2}, {2, 2}},
+			[]int{2, 1}, []int{0, 2},
+		},
+	}
+	for ci, c := range cases {
+		x := randomBlockTensor(t, c.partsX, 3, int64(ci*2+1))
+		y := randomBlockTensor(t, c.partsY, 3, int64(ci*2+2))
+		for _, threads := range []int{1, 3} {
+			z, err := Contract(x, y, c.cmX, c.cmY, threads)
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			want, err := dense.Contract(toDense(t, x), toDense(t, y), c.cmX, c.cmY, 1<<24)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := toDense(t, z)
+			diff, err := dense.MaxAbsDiff(got, want)
+			if err != nil {
+				t.Fatalf("case %d: shape mismatch: %v vs %v", ci, got.Dims, want.Dims)
+			}
+			if diff > 1e-9 {
+				t.Fatalf("case %d threads=%d: max diff %v", ci, threads, diff)
+			}
+		}
+	}
+}
+
+func TestContractScalar(t *testing.T) {
+	parts := [][]uint64{{2, 2}, {3}}
+	x := randomBlockTensor(t, parts, 4, 5)
+	y := randomBlockTensor(t, parts, 4, 6)
+	z, err := Contract(x, y, []int{0, 1}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for _, b := range z.Blocks() {
+		for _, v := range b.Data {
+			got += v
+		}
+	}
+	dx, dy := toDense(t, x), toDense(t, y)
+	var want float64
+	for i := range dx.Data {
+		want += dx.Data[i] * dy.Data[i]
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("scalar contraction %v, want %v", got, want)
+	}
+}
+
+func TestContractSectorMismatch(t *testing.T) {
+	x, _ := New([][]uint64{{2, 3}})
+	y, _ := New([][]uint64{{3, 2}})
+	if _, err := Contract(x, y, []int{0}, []int{0}, 1); err == nil {
+		t.Fatal("sector mismatch accepted")
+	}
+	y2, _ := New([][]uint64{{2, 3, 1}})
+	// total dim differs -> also sector count mismatch
+	if _, err := Contract(x, y2, []int{0}, []int{0}, 1); err == nil {
+		t.Fatal("sector count mismatch accepted")
+	}
+}
+
+func TestContractModeValidation(t *testing.T) {
+	x, _ := New([][]uint64{{2}, {2}})
+	y, _ := New([][]uint64{{2}, {2}})
+	for _, c := range []struct{ cmX, cmY []int }{
+		{[]int{0}, []int{0, 1}},
+		{[]int{2}, []int{0}},
+		{[]int{0, 0}, []int{0, 1}},
+	} {
+		if _, err := Contract(x, y, c.cmX, c.cmY, 1); err == nil {
+			t.Errorf("cmX=%v cmY=%v accepted", c.cmX, c.cmY)
+		}
+	}
+}
+
+func TestPermuteDense(t *testing.T) {
+	// 2x3 row-major [[1,2,3],[4,5,6]] transposed -> 3x2.
+	data := []float64{1, 2, 3, 4, 5, 6}
+	out := permuteDense(data, []uint64{2, 3}, []int{1, 0})
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("transpose = %v", out)
+		}
+	}
+	// Identity shares storage.
+	id := permuteDense(data, []uint64{2, 3}, []int{0, 1})
+	if &id[0] != &data[0] {
+		t.Fatal("identity permutation copied")
+	}
+}
+
+func TestBlocksDeterministicOrder(t *testing.T) {
+	bt := randomBlockTensor(t, [][]uint64{{2, 2, 2}, {2, 2}}, 5, 9)
+	a := bt.Blocks()
+	b := bt.Blocks()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Blocks() order unstable")
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package blocksparse
+
+import (
+	"fmt"
+	"sync"
+
+	"sparta/internal/dense"
+	"sparta/internal/lnum"
+	"sparta/internal/parallel"
+)
+
+// Contract computes Z = X ×_{cmodesX}^{cmodesY} Y in the block-sparse way
+// (§5.3's ITensor baseline): for every pair of blocks whose contract-mode
+// sectors match, matricize both blocks and GEMM them into the output block
+// addressed by the free sectors. Output modes are X's free modes followed
+// by Y's free modes, matching core.Contract's convention.
+func Contract(x, y *Tensor, cmodesX, cmodesY []int, threads int) (*Tensor, error) {
+	if len(cmodesX) != len(cmodesY) {
+		return nil, fmt.Errorf("blocksparse: contract mode count mismatch")
+	}
+	inX := make([]bool, x.Order())
+	for _, m := range cmodesX {
+		if m < 0 || m >= x.Order() || inX[m] {
+			return nil, fmt.Errorf("blocksparse: bad X contract mode %d", m)
+		}
+		inX[m] = true
+	}
+	inY := make([]bool, y.Order())
+	for _, m := range cmodesY {
+		if m < 0 || m >= y.Order() || inY[m] {
+			return nil, fmt.Errorf("blocksparse: bad Y contract mode %d", m)
+		}
+		inY[m] = true
+	}
+	// Sector partitions of paired contract modes must be identical — the
+	// block structures must agree for block-pair matching to be exact.
+	for k := range cmodesX {
+		px, py := x.Parts[cmodesX[k]], y.Parts[cmodesY[k]]
+		if len(px) != len(py) {
+			return nil, fmt.Errorf("blocksparse: contract pair %d sector count mismatch", k)
+		}
+		for s := range px {
+			if px[s] != py[s] {
+				return nil, fmt.Errorf("blocksparse: contract pair %d sector %d size mismatch", k, s)
+			}
+		}
+	}
+	var fmodesX, fmodesY []int
+	for m := 0; m < x.Order(); m++ {
+		if !inX[m] {
+			fmodesX = append(fmodesX, m)
+		}
+	}
+	for m := 0; m < y.Order(); m++ {
+		if !inY[m] {
+			fmodesY = append(fmodesY, m)
+		}
+	}
+	zparts := make([][]uint64, 0, len(fmodesX)+len(fmodesY))
+	for _, m := range fmodesX {
+		zparts = append(zparts, x.Parts[m])
+	}
+	for _, m := range fmodesY {
+		zparts = append(zparts, y.Parts[m])
+	}
+	scalar := len(zparts) == 0
+	if scalar {
+		zparts = [][]uint64{{1}}
+	}
+	z, err := New(zparts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-matricize once per block: X blocks as (freeX × contract) "A"
+	// matrices, Y blocks as (contract × freeY) "B" matrices.
+	csecRad, err := contractSectorRadix(x, cmodesX)
+	if err != nil {
+		return nil, err
+	}
+	amats := matricizeAll(x, fmodesX, cmodesX, threads)
+	bmats := matricizeAll(y, cmodesY, fmodesY, threads)
+
+	// Index Y blocks by their contract-sector key.
+	ybyC := make(map[uint64][]*bmat)
+	for _, b := range bmats {
+		key := encodeSectors(csecRad, b.blk.Sec, cmodesY)
+		ybyC[key] = append(ybyC[key], b)
+	}
+
+	// Group X blocks by their free-sector tuple: each group writes a
+	// disjoint set of Z blocks, so groups parallelize without locking Z
+	// block payloads (the Z map itself is guarded once per new block).
+	groups := make(map[uint64][]*bmat)
+	var gkeys []uint64
+	for _, a := range amats {
+		key := encodeSectors(z.secRad, a.blk.Sec, fmodesX) // freeX part only; freeY bits are 0
+		if _, ok := groups[key]; !ok {
+			gkeys = append(gkeys, key)
+		}
+		groups[key] = append(groups[key], a)
+	}
+
+	var zmu sync.Mutex
+	getZ := func(sec []uint32) *Block {
+		zmu.Lock()
+		defer zmu.Unlock()
+		key := z.secRad.Encode(sec)
+		blk := z.blocks[key]
+		if blk == nil {
+			blk = &Block{Sec: append([]uint32(nil), sec...), Data: make([]float64, z.blockLen(sec))}
+			z.blocks[key] = blk
+			z.ordered = nil
+		}
+		return blk
+	}
+
+	parallel.ForChunked(threads, len(gkeys), 1, func(_, lo, hi int) {
+		zsec := make([]uint32, z.Order())
+		for g := lo; g < hi; g++ {
+			for _, a := range groups[gkeys[g]] {
+				ckey := encodeSectors(csecRad, a.blk.Sec, cmodesX)
+				for _, b := range ybyC[ckey] {
+					if a.inner != b.outer {
+						panic("blocksparse: inner dimension mismatch")
+					}
+					if !scalar {
+						for k, m := range fmodesX {
+							zsec[k] = a.blk.Sec[m]
+						}
+						for k, m := range fmodesY {
+							zsec[len(fmodesX)+k] = b.blk.Sec[m]
+						}
+					} else {
+						zsec[0] = 0
+					}
+					cblk := getZ(zsec)
+					dense.Gemm(a.outer, a.inner, b.inner, a.data, b.data, cblk.Data)
+				}
+			}
+		}
+	})
+	return z, nil
+}
+
+// bmat is a matricized block: data laid out as outer × inner row-major.
+type bmat struct {
+	blk          *Block
+	data         []float64
+	outer, inner int
+}
+
+// matricizeAll permutes each block of t to (rowModes..., colModes...) order
+// and flattens it to a rows × cols matrix.
+func matricizeAll(t *Tensor, rowModes, colModes []int, threads int) []*bmat {
+	blocks := t.Blocks()
+	out := make([]*bmat, len(blocks))
+	perm := append(append([]int{}, rowModes...), colModes...)
+	parallel.For(threads, len(blocks), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := blocks[i]
+			ext := make([]uint64, t.Order())
+			for m, s := range b.Sec {
+				ext[m] = t.Parts[m][s]
+			}
+			rows, cols := 1, 1
+			for _, m := range rowModes {
+				rows *= int(ext[m])
+			}
+			for _, m := range colModes {
+				cols *= int(ext[m])
+			}
+			out[i] = &bmat{
+				blk:   b,
+				data:  permuteDense(b.Data, ext, perm),
+				outer: rows,
+				inner: cols,
+			}
+		}
+	})
+	return out
+}
+
+// permuteDense returns a copy of row-major data with modes reordered so new
+// mode k is old mode perm[k]. Identity permutations share the input slice.
+func permuteDense(data []float64, ext []uint64, perm []int) []float64 {
+	identity := true
+	for k, m := range perm {
+		if k != m {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		return data
+	}
+	srcRad := lnum.MustRadix(ext)
+	next := make([]uint64, len(perm))
+	for k, m := range perm {
+		next[k] = ext[m]
+	}
+	dstRad := lnum.MustRadix(next)
+	out := make([]float64, len(data))
+	src := make([]uint32, len(ext))
+	dst := make([]uint32, len(ext))
+	for ln := range data {
+		srcRad.Decode(uint64(ln), src)
+		for k, m := range perm {
+			dst[k] = src[m]
+		}
+		out[dstRad.Encode(dst)] = data[ln]
+	}
+	return out
+}
+
+// contractSectorRadix builds a radix over the sector counts of the contract
+// modes (validated identical between X and Y by Contract).
+func contractSectorRadix(x *Tensor, cmodesX []int) (*lnum.Radix, error) {
+	dims := make([]uint64, len(cmodesX))
+	for k, m := range cmodesX {
+		dims[k] = uint64(len(x.Parts[m]))
+	}
+	if len(dims) == 0 {
+		dims = []uint64{1}
+	}
+	return lnum.NewRadix(dims)
+}
+
+// encodeSectors linearizes the sector ids of the listed modes. When rad has
+// more positions than modes (the Z free-key case), missing positions encode
+// as 0.
+func encodeSectors(rad *lnum.Radix, sec []uint32, modes []int) uint64 {
+	var ln uint64
+	for k := 0; k < rad.Order(); k++ {
+		var v uint32
+		if k < len(modes) {
+			v = sec[modes[k]]
+		}
+		ln = ln*rad.Dims()[k] + uint64(v)
+	}
+	return ln
+}

@@ -1,0 +1,142 @@
+package coo
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary tensor format (the artifact's workflow converts .tns to a binary
+// format via SPLATT for fast loading; this is our equivalent):
+//
+//	magic   "SPTN"            4 bytes
+//	version uint32            currently 1
+//	order   uint32
+//	dims    order × uint64
+//	nnz     uint64
+//	inds    order × nnz × uint32   (mode-major, matching Tensor.Inds)
+//	vals    nnz × float64
+//
+// All integers are little-endian.
+
+const (
+	binMagic   = "SPTN"
+	binVersion = 1
+)
+
+// WriteBin writes the tensor in the binary format.
+func (t *Tensor) WriteBin(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	hdr := []interface{}{
+		uint32(binVersion),
+		uint32(t.Order()),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Dims); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.NNZ())); err != nil {
+		return err
+	}
+	for m := range t.Inds {
+		if err := binary.Write(bw, binary.LittleEndian, t.Inds[m]); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Vals); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBin parses the binary format, validating the header and every index.
+func ReadBin(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("coo: reading magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("coo: bad magic %q", magic)
+	}
+	var version, order uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("coo: unsupported binary version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &order); err != nil {
+		return nil, err
+	}
+	if order == 0 || order > 64 {
+		return nil, fmt.Errorf("coo: implausible order %d", order)
+	}
+	dims := make([]uint64, order)
+	if err := binary.Read(br, binary.LittleEndian, dims); err != nil {
+		return nil, err
+	}
+	var nnz uint64
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, err
+	}
+	const maxNNZ = 1 << 33 // refuse absurd allocations from corrupt headers
+	if nnz > maxNNZ {
+		return nil, fmt.Errorf("coo: implausible nnz %d", nnz)
+	}
+	t, err := New(dims, int(nnz))
+	if err != nil {
+		return nil, err
+	}
+	for m := 0; m < int(order); m++ {
+		col := make([]uint32, nnz)
+		if err := binary.Read(br, binary.LittleEndian, col); err != nil {
+			return nil, fmt.Errorf("coo: mode %d indices: %w", m, err)
+		}
+		t.Inds[m] = col
+	}
+	t.Vals = make([]float64, nnz)
+	if err := binary.Read(br, binary.LittleEndian, t.Vals); err != nil {
+		return nil, fmt.Errorf("coo: values: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LoadBin reads a binary tensor file.
+func LoadBin(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadBin(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// SaveBin writes a binary tensor file.
+func (t *Tensor) SaveBin(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteBin(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,105 @@
+package coo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestBinRoundTrip(t *testing.T) {
+	ten := randomTensor(t, []uint64{9, 8, 7, 6}, 700, 21)
+	ten.Sort(1)
+	var buf bytes.Buffer
+	if err := ten.WriteBin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ten.Equal(back) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinEmptyTensor(t *testing.T) {
+	ten := MustNew([]uint64{4, 4}, 0)
+	var buf bytes.Buffer
+	if err := ten.WriteBin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != 0 || back.Dims[1] != 4 {
+		t.Fatal("empty tensor mishandled")
+	}
+}
+
+func TestBinCorruption(t *testing.T) {
+	ten := randomTensor(t, []uint64{5, 5}, 20, 22)
+	var buf bytes.Buffer
+	if err := ten.WriteBin(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Bad version.
+	bad = append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(bad[4:], 99)
+	if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+
+	// Implausible order.
+	bad = append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(bad[8:], 1000)
+	if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible order accepted")
+	}
+
+	// Truncated payload.
+	if _, err := ReadBin(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+
+	// Out-of-range index: flip an index byte beyond dims.
+	// Header: 4 magic + 4 version + 4 order + 16 dims + 8 nnz = 36.
+	bad = append([]byte{}, good...)
+	binary.LittleEndian.PutUint32(bad[36:], 5) // dim is 5 -> index 5 invalid
+	if _, err := ReadBin(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+
+	// Empty input.
+	if _, err := ReadBin(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestBinFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.bin"
+	ten := randomTensor(t, []uint64{6, 6}, 30, 23)
+	if err := ten.SaveBin(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBin(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ten.Equal(back) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadBin(dir + "/missing.bin"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

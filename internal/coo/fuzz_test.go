@@ -1,0 +1,62 @@
+package coo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTNS checks the text parser never panics and that anything it
+// accepts survives a write/read round trip.
+func FuzzReadTNS(f *testing.F) {
+	f.Add("2\n3 4\n1 1 2.5\n3 4 -1\n")
+	f.Add("# comment\n1\n5\n5 0.5\n")
+	f.Add("3\n2 2 2\n1 1 1 1\n2 2 2 -2\n")
+	f.Add("")
+	f.Add("2\n3 4\n")
+	f.Add("x\n")
+	f.Add("2\n3 4\n0 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ten, err := ReadTNS(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := ten.Validate(); err != nil {
+			t.Fatalf("accepted tensor fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ten.WriteTNS(&buf); err != nil {
+			t.Fatalf("write after read: %v", err)
+		}
+		back, err := ReadTNS(&buf)
+		if err != nil {
+			t.Fatalf("reread: %v", err)
+		}
+		if !ten.Equal(back) {
+			t.Fatal("round trip changed the tensor")
+		}
+	})
+}
+
+// FuzzReadBin checks the binary parser is robust against arbitrary bytes.
+func FuzzReadBin(f *testing.F) {
+	ten := MustNew([]uint64{3, 4}, 0)
+	ten.Append([]uint32{1, 2}, 1.5)
+	var buf bytes.Buffer
+	if err := ten.WriteBin(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SPTN"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ten, err := ReadBin(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := ten.Validate(); err != nil {
+			t.Fatalf("accepted tensor fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package coo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The .tns text format (FROSTT / HiParTI convention):
+//
+//	line 1:            order N
+//	line 2:            N mode sizes
+//	following lines:   N one-based indices then the value
+//
+// Lines starting with '#' and blank lines are ignored.
+
+// WriteTNS writes t in .tns format.
+func (t *Tensor) WriteTNS(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%d\n", t.Order()); err != nil {
+		return err
+	}
+	for m, d := range t.Dims {
+		if m > 0 {
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatUint(d, 10)); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	for i := 0; i < t.NNZ(); i++ {
+		for m := range t.Inds {
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(t.Inds[m][i])+1, 10)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatFloat(t.Vals[i], 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTNS parses a .tns stream into a tensor, validating every index against
+// the declared mode sizes.
+func ReadTNS(r io.Reader) (*Tensor, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("coo: reading order: %w", err)
+	}
+	order, err := strconv.Atoi(line)
+	if err != nil || order < 1 {
+		return nil, fmt.Errorf("coo: bad order line %q", line)
+	}
+	line, err = nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("coo: reading dims: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != order {
+		return nil, fmt.Errorf("coo: %d dims for order %d", len(fields), order)
+	}
+	dims := make([]uint64, order)
+	for m, f := range fields {
+		dims[m], err = strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("coo: bad dim %q: %w", f, err)
+		}
+	}
+	t, err := New(dims, 0)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]uint32, order)
+	lineNo := 2
+	for {
+		line, err = nextLine(sc)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		lineNo++
+		fields = strings.Fields(line)
+		if len(fields) != order+1 {
+			return nil, fmt.Errorf("coo: line %d: %d fields, want %d", lineNo, len(fields), order+1)
+		}
+		for m := 0; m < order; m++ {
+			u, err := strconv.ParseUint(fields[m], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("coo: line %d: bad index %q: %w", lineNo, fields[m], err)
+			}
+			if u < 1 || u > dims[m] {
+				return nil, fmt.Errorf("coo: line %d: index %d out of range [1,%d] for mode %d", lineNo, u, dims[m], m)
+			}
+			idx[m] = uint32(u - 1)
+		}
+		v, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("coo: line %d: bad value %q: %w", lineNo, fields[order], err)
+		}
+		t.Append(idx, v)
+	}
+	return t, nil
+}
+
+// nextLine returns the next non-blank, non-comment line or io.EOF.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		return s, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// LoadTNS reads a tensor from a .tns file on disk.
+func LoadTNS(path string) (*Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTNS(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// SaveTNS writes a tensor to a .tns file on disk.
+func (t *Tensor) SaveTNS(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteTNS(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

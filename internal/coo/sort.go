@@ -1,0 +1,243 @@
+package coo
+
+import (
+	"sort"
+
+	"sparta/internal/lnum"
+	"sparta/internal/parallel"
+)
+
+// Sort orders the non-zeros lexicographically over the current mode order
+// using the parallel quicksort from §3.5 (OpenMP tasks in the paper, a
+// depth-budgeted goroutine fan-out here).
+//
+// When the full index box fits in a uint64 the sorter takes the LN fast
+// path: encode each coordinate once, sort (key, position) pairs, then apply
+// the permutation to every column — one O(order) gather per element instead
+// of O(order) work per comparison. Otherwise it falls back to an in-place
+// multi-column quicksort.
+func (t *Tensor) Sort(threads int) {
+	n := t.NNZ()
+	if n < 2 {
+		return
+	}
+	if r, err := lnum.NewRadix(t.Dims); err == nil {
+		t.sortByKeys(r, threads)
+		return
+	}
+	fo := parallel.NewFanout(threads)
+	quickSortTensor(t, 0, n, fo, maxDepth(n))
+	fo.Wait()
+}
+
+// IsSorted reports whether the non-zeros are in lexicographic order.
+func (t *Tensor) IsSorted() bool {
+	for i := 1; i < t.NNZ(); i++ {
+		if t.Less(i, i-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyPos pairs an LN-encoded coordinate with its original position.
+type keyPos struct {
+	key uint64
+	pos int32
+}
+
+func (t *Tensor) sortByKeys(r *lnum.Radix, threads int) {
+	n := t.NNZ()
+	kp := make([]keyPos, n)
+	parallel.For(threads, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kp[i] = keyPos{r.EncodeStrided(t.Inds, i), int32(i)}
+		}
+	})
+	fo := parallel.NewFanout(threads)
+	quickSortKeys(kp, fo, maxDepth(n))
+	fo.Wait()
+	// Apply the permutation column by column (parallel across columns and
+	// within each column's gather).
+	for m := range t.Inds {
+		src := t.Inds[m]
+		dst := make([]uint32, n)
+		parallel.For(threads, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[i] = src[kp[i].pos]
+			}
+		})
+		t.Inds[m] = dst
+	}
+	srcV := t.Vals
+	dstV := make([]float64, n)
+	parallel.For(threads, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dstV[i] = srcV[kp[i].pos]
+		}
+	})
+	t.Vals = dstV
+}
+
+// maxDepth mirrors sort.Slice's 2*ceil(log2(n)) introsort budget: beyond it
+// quicksort degenerates and we switch to heapsort-free guaranteed-progress
+// behavior by just using the stdlib on the remaining range.
+func maxDepth(n int) int {
+	d := 0
+	for i := n; i > 0; i >>= 1 {
+		d++
+	}
+	return 2 * d
+}
+
+const serialCutoff = 1 << 11 // below this, sort serially
+const insertionCutoff = 16   // below this, insertion sort
+
+// lessKP orders by key with the original position as tie-break, making the
+// key-path sort stable (duplicate coordinates keep their value order).
+func lessKP(a, b keyPos) bool {
+	return a.key < b.key || (a.key == b.key && a.pos < b.pos)
+}
+
+func quickSortKeys(a []keyPos, fo *parallel.Fanout, depth int) {
+	for len(a) > insertionCutoff {
+		if depth == 0 {
+			sort.Slice(a, func(i, j int) bool { return lessKP(a[i], a[j]) })
+			return
+		}
+		depth--
+		p := partitionKeys(a)
+		left, right := a[:p], a[p+1:]
+		// Recurse on the smaller side via the fan-out when it is big enough
+		// to be worth a goroutine; iterate on the larger side.
+		if len(left) > len(right) {
+			left, right = right, left
+		}
+		if len(left) > serialCutoff {
+			l, d := left, depth
+			if fo.Spawn(func() { quickSortKeys(l, fo, d) }) {
+				a = right
+				continue
+			}
+		}
+		quickSortKeys(left, fo, depth)
+		a = right
+	}
+	insertionSortKeys(a)
+}
+
+func partitionKeys(a []keyPos) int {
+	n := len(a)
+	// median-of-three pivot
+	mid := n / 2
+	if lessKP(a[mid], a[0]) {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if lessKP(a[n-1], a[0]) {
+		a[n-1], a[0] = a[0], a[n-1]
+	}
+	if lessKP(a[n-1], a[mid]) {
+		a[n-1], a[mid] = a[mid], a[n-1]
+	}
+	a[mid], a[n-2] = a[n-2], a[mid]
+	pivot := a[n-2]
+	i := 0
+	for j := 0; j < n-2; j++ {
+		if lessKP(a[j], pivot) {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[n-2] = a[n-2], a[i]
+	return i
+}
+
+func insertionSortKeys(a []keyPos) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && lessKP(a[j], a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// quickSortTensor sorts t[lo:hi) in place comparing full index tuples.
+func quickSortTensor(t *Tensor, lo, hi int, fo *parallel.Fanout, depth int) {
+	for hi-lo > insertionCutoff {
+		if depth == 0 {
+			sortStdlibRange(t, lo, hi)
+			return
+		}
+		depth--
+		p := partitionTensor(t, lo, hi)
+		llo, lhi := lo, p
+		rlo, rhi := p+1, hi
+		if lhi-llo > rhi-rlo {
+			llo, lhi, rlo, rhi = rlo, rhi, llo, lhi
+		}
+		if lhi-llo > serialCutoff {
+			a, b, d := llo, lhi, depth
+			if fo.Spawn(func() { quickSortTensor(t, a, b, fo, d) }) {
+				lo, hi = rlo, rhi
+				continue
+			}
+		}
+		quickSortTensor(t, llo, lhi, fo, depth)
+		lo, hi = rlo, rhi
+	}
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && t.Less(j, j-1); j-- {
+			t.Swap(j, j-1)
+		}
+	}
+}
+
+func partitionTensor(t *Tensor, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if t.Less(mid, lo) {
+		t.Swap(mid, lo)
+	}
+	if t.Less(hi-1, lo) {
+		t.Swap(hi-1, lo)
+	}
+	if t.Less(hi-1, mid) {
+		t.Swap(hi-1, mid)
+	}
+	t.Swap(mid, hi-2)
+	pivot := hi - 2
+	i := lo
+	for j := lo; j < hi-2; j++ {
+		if t.Less(j, pivot) {
+			t.Swap(i, j)
+			i++
+		}
+	}
+	t.Swap(i, hi-2)
+	return i
+}
+
+// sortStdlibRange sorts t[lo:hi) with the stdlib via an indirection slice;
+// only used as the introsort depth-exhaustion fallback.
+func sortStdlibRange(t *Tensor, lo, hi int) {
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.Less(idx[a], idx[b]) })
+	// apply permutation within the range
+	order := len(t.Dims)
+	tmpI := make([][]uint32, order)
+	for m := range tmpI {
+		tmpI[m] = make([]uint32, hi-lo)
+	}
+	tmpV := make([]float64, hi-lo)
+	for k, src := range idx {
+		for m := range t.Inds {
+			tmpI[m][k] = t.Inds[m][src]
+		}
+		tmpV[k] = t.Vals[src]
+	}
+	for m := range t.Inds {
+		copy(t.Inds[m][lo:hi], tmpI[m])
+	}
+	copy(t.Vals[lo:hi], tmpV)
+}

@@ -1,0 +1,43 @@
+package coo
+
+import "fmt"
+
+// SubPtr computes ptrF from the paper (Table 1): boundaries of the mode-F
+// sub-tensors of a *sorted* tensor whose first `freeModes` mode indices are
+// equal. ptr has len NF+1 with sub-tensor f spanning non-zeros
+// [ptr[f], ptr[f+1]). With freeModes == 0 the whole tensor is one sub-tensor.
+//
+// The computation stages parallelize over these sub-tensors (Line 5 of
+// Algorithm 2), so each accumulates to a disjoint slice of the output.
+func (t *Tensor) SubPtr(freeModes int) ([]int, error) {
+	if freeModes < 0 || freeModes > len(t.Dims) {
+		return nil, fmt.Errorf("coo: SubPtr freeModes %d out of range (order %d)", freeModes, len(t.Dims))
+	}
+	n := t.NNZ()
+	if n == 0 {
+		return []int{0}, nil
+	}
+	ptr := make([]int, 1, 16)
+	for i := 1; i < n; i++ {
+		for m := 0; m < freeModes; m++ {
+			if t.Inds[m][i] != t.Inds[m][i-1] {
+				ptr = append(ptr, i)
+				break
+			}
+		}
+	}
+	ptr = append(ptr, n)
+	return ptr, nil
+}
+
+// MaxSubNNZ returns nnz_Fmax from Eq. 6: the largest sub-tensor size under
+// the given grouping pointers.
+func MaxSubNNZ(ptr []int) int {
+	max := 0
+	for f := 0; f+1 < len(ptr); f++ {
+		if s := ptr[f+1] - ptr[f]; s > max {
+			max = s
+		}
+	}
+	return max
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sparta/internal/coo"
+	"sparta/internal/hashtab"
+	"sparta/internal/parallel"
+)
+
+// Options configures a contraction. The zero value is the paper's default
+// configuration of Algorithm 2 except for the algorithm selector: Sparta
+// (HtY+HtA), all cores, sorted output, cloned inputs.
+type Options struct {
+	// Algorithm selects the SpTC variant. NOTE: the zero value is AlgSPA
+	// (to match EXPERIMENT_MODES numbering); use AlgSparta for Sparta.
+	Algorithm Algorithm
+	// Threads is the worker count for every parallel stage; <1 means
+	// GOMAXPROCS.
+	Threads int
+	// SkipOutputSort leaves Z unsorted (stage ⑤ is on by default, as in
+	// the paper's evaluation).
+	SkipOutputSort bool
+	// InPlace lets the algorithm permute and sort the caller's tensors
+	// instead of cloning them, saving one copy of each input.
+	InPlace bool
+	// BucketsHtY overrides the HtY bucket count (0 = next power of two
+	// >= nnz_Y). Rounded up to a power of two.
+	BucketsHtY int
+	// HtACapHint pre-sizes each thread's accumulator (0 = heuristic).
+	HtACapHint int
+	// TwoPassHtY selects the lock-free two-pass HtY construction instead
+	// of the default bucket-locked parallel build (AlgSparta only). The
+	// results are identical; the two-pass build avoids lock contention on
+	// tensors with few distinct contract keys at the cost of an extra
+	// pass over Y.
+	TwoPassHtY bool
+	// MaxOutputNNZ aborts the contraction with an error when the output
+	// would exceed this many non-zeros (0 = unlimited). SpTC outputs can
+	// dwarf both inputs (the paper's challenge 3); the bound is checked
+	// after the compute stages, before Z is materialized.
+	MaxOutputNNZ int
+}
+
+// Contract computes Z = X ×_{cmodesX}^{cmodesY} Y with the selected
+// algorithm: contract mode cmodesX[k] of X against cmodesY[k] of Y. The
+// output modes are X's free modes (original order) followed by Y's free
+// modes. A fully contracted result is returned as a 1-mode, size-1 tensor
+// holding the scalar at index 0.
+func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tensor, *Report, error) {
+	p, err := newPlan(x, y, cmodesX, cmodesY)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch opt.Algorithm {
+	case AlgSPA, AlgCOOHtA, AlgSparta, AlgTwoPhase:
+	default:
+		return nil, nil, errBadAlgorithm(opt.Algorithm)
+	}
+	threads := opt.Threads
+	if threads < 1 {
+		threads = parallel.DefaultThreads()
+	}
+	rep := &Report{
+		Algorithm: opt.Algorithm,
+		Threads:   threads,
+		NNZX:      x.NNZ(),
+		NNZY:      y.NNZ(),
+	}
+	if opt.Algorithm == AlgTwoPhase {
+		z, err := contractTwoPhase(p, opt, rep)
+		if err != nil {
+			return nil, nil, err
+		}
+		return z, rep, nil
+	}
+
+	// ① Input processing -------------------------------------------------
+	t0 := time.Now()
+	xw := p.x
+	if !opt.InPlace {
+		xw = xw.Clone()
+	}
+	if err := xw.Permute(p.permX); err != nil {
+		return nil, nil, err
+	}
+	xw.Sort(threads)
+	ptrFX, err := xw.SubPtr(p.nfx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.NF = len(ptrFX) - 1
+	rep.MaxSubNNZX = coo.MaxSubNNZ(ptrFX)
+	rep.BytesX = xw.Bytes()
+
+	var hty *hashtab.HtY
+	var yw *coo.Tensor
+	var ptrCY []int
+	if opt.Algorithm == AlgSparta {
+		buckets := opt.BucketsHtY
+		build := hashtab.BuildHtY
+		if opt.TwoPassHtY {
+			build = hashtab.BuildHtY2P
+		}
+		hty = build(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, buckets, threads)
+		rep.BytesY = p.y.Bytes()
+		rep.BytesHtY = hty.Bytes()
+		rep.BucketsHtY = hty.NumBuckets()
+		rep.DistinctKeysY = hty.NKeys
+		rep.MaxSubNNZY = hty.MaxItems
+		rep.EstBytesHtY = hashtab.EstimateHtYBytes(p.y.NNZ(), p.y.Order(), hty.NumBuckets())
+	} else {
+		yw = p.y
+		if !opt.InPlace {
+			yw = yw.Clone()
+		}
+		if err := yw.Permute(p.permY); err != nil {
+			return nil, nil, err
+		}
+		yw.Sort(threads)
+		if ptrCY, err = yw.SubPtr(p.ncm); err != nil {
+			return nil, nil, err
+		}
+		rep.BytesY = yw.Bytes()
+		rep.DistinctKeysY = len(ptrCY) - 1
+		rep.MaxSubNNZY = coo.MaxSubNNZ(ptrCY)
+	}
+	rep.StageWall[StageInput] = time.Since(t0)
+	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
+
+	// ②③④ Computation ----------------------------------------------------
+	ws := makeWorkers(threads, p, opt)
+	nf := rep.NF
+	chunk := nf / (threads * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
+		w := ws[tid]
+		for f := lo; f < hi; f++ {
+			switch opt.Algorithm {
+			case AlgSparta:
+				w.subSparta(p, xw, hty, ptrFX, f)
+			case AlgCOOHtA:
+				w.subCOOHtA(p, xw, yw, ptrFX, ptrCY, f)
+			case AlgSPA:
+				w.subSPA(p, xw, yw, ptrFX, ptrCY, f)
+			}
+		}
+	})
+	mergeWorkerStats(rep, ws)
+
+	// ④ Writeback: gather thread-local Zlocal into Z ---------------------
+	if opt.MaxOutputNNZ > 0 {
+		total := 0
+		for _, w := range ws {
+			total += len(w.z.vals)
+		}
+		if total > opt.MaxOutputNNZ {
+			return nil, nil, fmt.Errorf("core: output has %d non-zeros, exceeding MaxOutputNNZ %d", total, opt.MaxOutputNNZ)
+		}
+	}
+	t0 = time.Now()
+	z, err := gather(p, xw, ptrFX, ws, threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	gatherTime := time.Since(t0)
+	rep.StageWall[StageWrite] += gatherTime
+	rep.StageCPU[StageWrite] += gatherTime
+	rep.NNZZ = z.NNZ()
+	rep.BytesZ = z.Bytes()
+	if p.nfy > 0 {
+		rep.EstBytesHtAPerTh = hashtab.EstimateHtABytes(
+			nextPow2(rep.MaxSubNNZY), rep.MaxSubNNZX, rep.MaxSubNNZY, p.nfy)
+	}
+
+	// ⑤ Output sorting ----------------------------------------------------
+	if !opt.SkipOutputSort {
+		t0 = time.Now()
+		z.Sort(threads)
+		rep.StageWall[StageSort] = time.Since(t0)
+		rep.StageCPU[StageSort] = rep.StageWall[StageSort]
+	}
+	return z, rep, nil
+}
+
+// errBadAlgorithm keeps the error text alongside the enum.
+type errBadAlgorithm Algorithm
+
+func (e errBadAlgorithm) Error() string {
+	return "core: unknown algorithm " + Algorithm(e).String()
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// gather allocates Z exactly (the sum of all Zlocal sizes is known — the
+// paper's answer to the unknown-output-size challenge) and copies every
+// thread's buffer into a disjoint range in parallel.
+func gather(p *plan, xw *coo.Tensor, ptrFX []int, ws []*worker, threads int) (*coo.Tensor, error) {
+	counts := make([]int, len(ws))
+	for i, w := range ws {
+		counts[i] = len(w.z.vals)
+	}
+	offsets, total := parallel.PrefixSum(counts)
+	z, err := coo.New(p.zdims, 0)
+	if err != nil {
+		return nil, err
+	}
+	for m := range z.Inds {
+		z.Inds[m] = make([]uint32, total)
+	}
+	z.Vals = make([]float64, total)
+
+	xCols := xw.Inds[:p.nfx]
+	parallel.For(len(ws), len(ws), func(_, lo, hi int) {
+		buf := make([]uint32, p.nfy)
+		for wi := lo; wi < hi; wi++ {
+			w := ws[wi]
+			pos := offsets[wi]
+			k := 0
+			for _, sub := range w.z.subs {
+				xAt := ptrFX[sub.f]
+				for j := 0; j < int(sub.n); j++ {
+					for m := 0; m < p.nfx; m++ {
+						z.Inds[m][pos] = xCols[m][xAt]
+					}
+					p.radFY.Decode(w.z.lns[k], buf)
+					for m := 0; m < p.nfy; m++ {
+						z.Inds[p.nfx+m][pos] = buf[m]
+					}
+					z.Vals[pos] = w.z.vals[k]
+					pos++
+					k++
+				}
+			}
+		}
+	})
+	return z, nil
+}
+
+// mergeWorkerStats folds per-thread timing and counters into the report:
+// wall = max across threads (the stages run concurrently), cpu = sum.
+func mergeWorkerStats(rep *Report, ws []*worker) {
+	for _, w := range ws {
+		walls := [...]time.Duration{
+			StageSearch: time.Duration(w.searchNS),
+			StageAccum:  time.Duration(w.accumNS),
+			StageWrite:  time.Duration(w.writeNS),
+		}
+		for s := StageSearch; s <= StageWrite; s++ {
+			if walls[s] > rep.StageWall[s] {
+				rep.StageWall[s] = walls[s]
+			}
+			rep.StageCPU[s] += walls[s]
+		}
+		rep.SearchSteps += w.searchSteps
+		rep.ProbesHtY += w.probesHtY
+		rep.HitsY += w.hits
+		rep.MissY += w.miss
+		rep.Products += w.products
+		if w.hta != nil {
+			rep.ProbesHtA += w.hta.Probes
+			rep.AccumHits += w.hta.Hits
+			rep.AccumMiss += w.hta.Misses
+			b := w.hta.Bytes()
+			rep.BytesHtA += b
+			if b > rep.BytesHtAPerThr {
+				rep.BytesHtAPerThr = b
+			}
+		}
+		if w.spa != nil {
+			rep.SPACompares += w.spa.Compares
+			rep.AccumHits += w.spaHits
+			rep.AccumMiss += w.spaMiss
+			b := w.spa.Bytes()
+			rep.BytesHtA += b
+			if b > rep.BytesHtAPerThr {
+				rep.BytesHtAPerThr = b
+			}
+		}
+		rep.BytesZLocal += w.z.bytes()
+	}
+}

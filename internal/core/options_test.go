@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTwoPassHtYMatchesDefault: the lock-free build must produce identical
+// contraction results.
+func TestTwoPassHtYMatchesDefault(t *testing.T) {
+	x := randomSparse([]uint64{7, 6, 5, 4}, 300, 71)
+	y := randomSparse([]uint64{5, 4, 8}, 200, 72)
+	a, _, err := Contract(x, y, []int{2, 3}, []int{0, 1}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Contract(x, y, []int{2, 3}, []int{0, 1}, Options{Algorithm: AlgSparta, TwoPassHtY: true, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nnz differs: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for i := 0; i < a.NNZ(); i++ {
+		for m := range a.Inds {
+			if a.Inds[m][i] != b.Inds[m][i] {
+				t.Fatalf("coordinate mismatch at %d", i)
+			}
+		}
+		d := a.Vals[i] - b.Vals[i]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+}
+
+// TestTwoPhaseReport: the symbolic phase must be timed, and two-phase must
+// report no thread-local output buffers (its one advantage over Sparta).
+func TestTwoPhaseReport(t *testing.T) {
+	x := randomSparse([]uint64{9, 8, 7}, 400, 81)
+	y := randomSparse([]uint64{7, 9}, 150, 82)
+	z, rep, err := Contract(x, y, []int{2}, []int{0}, Options{Algorithm: AlgTwoPhase, Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Symbolic <= 0 {
+		t.Error("symbolic phase not timed")
+	}
+	if rep.BytesZLocal != 0 {
+		t.Errorf("two-phase reported %d Zlocal bytes", rep.BytesZLocal)
+	}
+	if rep.Total() <= rep.Symbolic {
+		t.Error("Total must include the numeric stages")
+	}
+	// Exact allocation: capacity equals length on every output column.
+	for m := range z.Inds {
+		if cap(z.Inds[m]) != z.NNZ() {
+			t.Errorf("mode %d over-allocated: cap %d for %d non-zeros", m, cap(z.Inds[m]), z.NNZ())
+		}
+	}
+	// Sparta on the same inputs does carry Zlocal.
+	_, repS, err := Contract(x, y, []int{2}, []int{0}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.BytesZLocal == 0 && repS.NNZZ > 0 {
+		t.Error("Sparta reported no Zlocal bytes")
+	}
+	if repS.Symbolic != 0 {
+		t.Error("Sparta reported a symbolic phase")
+	}
+}
+
+// TestMaxOutputNNZ: the guard trips before Z is materialized and passes
+// when the bound is sufficient.
+func TestMaxOutputNNZ(t *testing.T) {
+	x := randomSparse([]uint64{10, 8}, 60, 73)
+	y := randomSparse([]uint64{8, 10}, 60, 74)
+	z, _, err := Contract(x, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Contract(x, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta, MaxOutputNNZ: z.NNZ() - 1})
+	if err == nil || !strings.Contains(err.Error(), "MaxOutputNNZ") {
+		t.Fatalf("guard did not trip: %v", err)
+	}
+	z2, _, err := Contract(x, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta, MaxOutputNNZ: z.NNZ()})
+	if err != nil {
+		t.Fatalf("exact bound rejected: %v", err)
+	}
+	if !z.Equal(z2) {
+		t.Fatal("bounded run differs")
+	}
+	// The guard applies to the baselines too.
+	for _, alg := range []Algorithm{AlgSPA, AlgCOOHtA, AlgTwoPhase} {
+		_, _, err = Contract(x, y, []int{1}, []int{0}, Options{Algorithm: alg, MaxOutputNNZ: 1})
+		if err == nil {
+			t.Fatalf("%v: guard did not trip", alg)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sparta/internal/coo"
+)
+
+// TestModeOrderInvariance: permuting the modes of X (and remapping the
+// contract-mode list accordingly) must not change the *set* of output
+// non-zeros when the free-mode order is preserved. This is the algebraic
+// identity behind the paper's input-processing stage: permutation is
+// bookkeeping, not computation.
+func TestModeOrderInvariance(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		x := randomSparse([]uint64{5, 6, 4, 3}, 60, int64(400+trial))
+		y := randomSparse([]uint64{4, 3, 7}, 30, int64(500+trial))
+		ref, _, err := Contract(x, y, []int{2, 3}, []int{0, 1}, Options{Algorithm: AlgSparta})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Swap X's two contract modes (modes 2 and 3) and the pairing.
+		xp := x.Clone()
+		if err := xp.Permute([]int{0, 1, 3, 2}); err != nil {
+			t.Fatal(err)
+		}
+		z2, _, err := Contract(xp, y, []int{3, 2}, []int{0, 1}, Options{Algorithm: AlgSparta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensorsAlmostEqual(ref, z2) {
+			t.Fatalf("trial %d: contract-mode permutation changed the result", trial)
+		}
+
+		// Also permute Y's contract modes and the pairing order together.
+		yp := y.Clone()
+		if err := yp.Permute([]int{1, 0, 2}); err != nil {
+			t.Fatal(err)
+		}
+		z3, _, err := Contract(x, yp, []int{2, 3}, []int{1, 0}, Options{Algorithm: AlgSparta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensorsAlmostEqual(ref, z3) {
+			t.Fatalf("trial %d: Y-mode permutation changed the result", trial)
+		}
+	}
+}
+
+func tensorsAlmostEqual(a, b *coo.Tensor) bool {
+	if a.NNZ() != b.NNZ() || len(a.Dims) != len(b.Dims) {
+		return false
+	}
+	for m := range a.Dims {
+		if a.Dims[m] != b.Dims[m] {
+			return false
+		}
+		for i := range a.Inds[m] {
+			if a.Inds[m][i] != b.Inds[m][i] {
+				return false
+			}
+		}
+	}
+	for i := range a.Vals {
+		if math.Abs(a.Vals[i]-b.Vals[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAdditivity: contracting (X1 ∪ X2) equals the element-wise sum of the
+// two partial contractions (bilinearity in the first argument).
+func TestAdditivity(t *testing.T) {
+	x1 := randomSparse([]uint64{6, 5}, 20, 601)
+	x2 := randomSparse([]uint64{6, 5}, 20, 602)
+	y := randomSparse([]uint64{5, 7}, 25, 603)
+
+	// Union with value accumulation on duplicates.
+	xu := x1.Clone()
+	idx := make([]uint32, 2)
+	for i := 0; i < x2.NNZ(); i++ {
+		x2.Index(i, idx)
+		xu.Append(idx, x2.Vals[i])
+	}
+	xu.Sort(1)
+	xu.Dedup()
+
+	zu, _, err := Contract(xu, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1, _, err := Contract(x1, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2, _, err := Contract(x2, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[[2]uint32]float64{}
+	for _, z := range []*coo.Tensor{z1, z2} {
+		for i := 0; i < z.NNZ(); i++ {
+			sum[[2]uint32{z.Inds[0][i], z.Inds[1][i]}] += z.Vals[i]
+		}
+	}
+	for i := 0; i < zu.NNZ(); i++ {
+		k := [2]uint32{zu.Inds[0][i], zu.Inds[1][i]}
+		if math.Abs(sum[k]-zu.Vals[i]) > 1e-9 {
+			t.Fatalf("additivity violated at %v: %v vs %v", k, sum[k], zu.Vals[i])
+		}
+		delete(sum, k)
+	}
+	for k, v := range sum {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("coordinate %v missing from union contraction (value %v)", k, v)
+		}
+	}
+}
+
+// TestLNOverflowRejected: mode-size products beyond uint64 must fail
+// cleanly at planning time, not corrupt keys.
+func TestLNOverflowRejected(t *testing.T) {
+	huge := []uint64{1 << 32, 1 << 32, 1 << 32}
+	x := coo.MustNew([]uint64{4, 1 << 32}, 0)
+	y := coo.MustNew(huge, 0)
+	y.Append([]uint32{0, 0, 0}, 1)
+	x.Append([]uint32{0, 0}, 1)
+	// Contract X mode 1 with Y mode 0: Y's free dims are 2^32 * 2^32 =
+	// 2^64, overflowing the LN representation.
+	if _, _, err := Contract(x, y, []int{1}, []int{0}, Options{Algorithm: AlgSparta}); err == nil {
+		t.Fatal("free-mode overflow accepted")
+	}
+	// Contract modes themselves overflowing must also fail.
+	x2 := coo.MustNew(huge, 0)
+	y2 := coo.MustNew(huge, 0)
+	if _, _, err := Contract(x2, y2, []int{0, 1, 2}, []int{0, 1, 2}, Options{Algorithm: AlgSparta}); err == nil {
+		t.Fatal("contract-mode overflow accepted")
+	}
+}
+
+// TestDuplicateInputCoordinates: inputs with repeated coordinates are legal
+// COO (values accumulate implicitly through the products).
+func TestDuplicateInputCoordinates(t *testing.T) {
+	x := coo.MustNew([]uint64{3, 4}, 0)
+	x.Append([]uint32{1, 2}, 2)
+	x.Append([]uint32{1, 2}, 3) // duplicate
+	y := coo.MustNew([]uint64{4, 2}, 0)
+	y.Append([]uint32{2, 1}, 10)
+	for _, alg := range allAlgorithms {
+		z, _, err := Contract(x, y, []int{1}, []int{0}, Options{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.NNZ() != 1 || math.Abs(z.Vals[0]-50) > 1e-12 {
+			t.Fatalf("%v: duplicates mishandled: %v", alg, z.Vals)
+		}
+	}
+}

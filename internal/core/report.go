@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Algorithm selects the SpTC variant, numbered like the artifact's
+// EXPERIMENT_MODES environment variable.
+type Algorithm int
+
+const (
+	// AlgSPA is SpTC-SPA: COO Y with linear index search plus the
+	// vector sparse accumulator (Algorithm 1). EXPERIMENT_MODES=0.
+	AlgSPA Algorithm = 0
+	// AlgCOOHtA keeps the COO Y linear search but accumulates into the
+	// hash-table accumulator HtA. EXPERIMENT_MODES=1.
+	AlgCOOHtA Algorithm = 1
+	// AlgTwoPhase is the traditional symbolic+numeric SpTC the paper's
+	// §3.2 argues against: a structure-only pass counts the exact output
+	// size, then a second pass computes values into the exactly-sized Z
+	// with no thread-local buffers and no gather. EXPERIMENT_MODES=2.
+	AlgTwoPhase Algorithm = 2
+	// AlgSparta is the full Sparta algorithm: hash-table Y and hash-table
+	// accumulator (Algorithm 2). EXPERIMENT_MODES=3.
+	AlgSparta Algorithm = 3
+)
+
+// String names the algorithm the way the paper's figures do.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgSPA:
+		return "COOY+SPA"
+	case AlgCOOHtA:
+		return "COOY+HtA"
+	case AlgTwoPhase:
+		return "TwoPhase"
+	case AlgSparta:
+		return "HtY+HtA"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Stage identifies one of the five SpTC stages (§3.1).
+type Stage int
+
+const (
+	StageInput  Stage = iota // ① input processing
+	StageSearch              // ② index search
+	StageAccum               // ③ accumulation
+	StageWrite               // ④ writeback
+	StageSort                // ⑤ output sorting
+	NumStages
+)
+
+// String returns the paper's stage name.
+func (s Stage) String() string {
+	switch s {
+	case StageInput:
+		return "Input Processing"
+	case StageSearch:
+		return "Index Search"
+	case StageAccum:
+		return "Accumulation"
+	case StageWrite:
+		return "Writeback"
+	case StageSort:
+		return "Output Sorting"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Report carries everything the evaluation harness needs from one
+// contraction: per-stage wall times, operation counters (the quantities in
+// Eqs. 3 and 4), and the sizes of the six data objects the
+// heterogeneous-memory planner places (Table 2).
+type Report struct {
+	Algorithm Algorithm
+	Threads   int
+
+	// StageWall approximates the wall-clock time of each stage. For the
+	// three computation stages, which interleave inside the parallel
+	// sub-tensor loop, it is the maximum per-thread accumulated time; for
+	// input processing and output sorting it is directly measured.
+	StageWall [NumStages]time.Duration
+	// StageCPU is the per-thread-summed time of each stage.
+	StageCPU [NumStages]time.Duration
+	// Symbolic is the symbolic-phase wall time (AlgTwoPhase only); it is
+	// included in Total.
+	Symbolic time.Duration
+
+	// Tensor features.
+	NNZX, NNZY, NNZZ int
+	NF               int // number of mode-FX sub-tensors of X
+	MaxSubNNZX       int // nnz_Fmax of X
+	MaxSubNNZY       int // nnz_Fmax of Y (largest HtY item list / Y key run)
+	DistinctKeysY    int // distinct contract tuples in Y
+	BucketsHtY       int
+
+	// Operation counters.
+	SearchSteps uint64 // COO-Y linear-search key comparisons (Alg 0/1)
+	ProbesHtY   uint64 // HtY bucket-entry probes (Alg 3)
+	HitsY       uint64 // X non-zeros whose contract key exists in Y
+	MissY       uint64 // X non-zeros with no matching Y sub-tensor
+	Products    uint64 // scalar multiply-adds performed
+	SPACompares uint64 // SPA key-element comparisons (Alg 0)
+	ProbesHtA   uint64 // HtA chain probes (Alg 1/3)
+	AccumHits   uint64 // accumulator add-into-existing
+	AccumMiss   uint64 // accumulator fresh inserts
+
+	// Data-object sizes in bytes (peak), for Figs. 3, 7, 9.
+	BytesX, BytesY   uint64
+	BytesHtY         uint64
+	BytesHtA         uint64 // summed across threads (paper: 10-50 MB per thread)
+	BytesHtAPerThr   uint64 // largest single thread's HtA
+	BytesZLocal      uint64 // summed across threads
+	BytesZ           uint64
+	EstBytesHtY      uint64 // Eq. 5
+	EstBytesHtAPerTh uint64 // Eq. 6 (per thread upper bound)
+}
+
+// Total returns the end-to-end wall time (sum of stage walls plus the
+// symbolic phase, when one ran).
+func (r *Report) Total() time.Duration {
+	t := r.Symbolic
+	for _, d := range r.StageWall {
+		t += d
+	}
+	return t
+}
+
+// ComputeTime returns the time of the computation stages (②+③+④), the
+// quantity Fig. 4 speedups are dominated by.
+func (r *Report) ComputeTime() time.Duration {
+	return r.StageWall[StageSearch] + r.StageWall[StageAccum] + r.StageWall[StageWrite]
+}
+
+// PeakBytes estimates peak resident payload: inputs + HtY + accumulators +
+// Zlocal + Z all live simultaneously at the end of writeback.
+func (r *Report) PeakBytes() uint64 {
+	return r.BytesX + r.BytesY + r.BytesHtY + r.BytesHtA + r.BytesZLocal + r.BytesZ
+}
+
+// Breakdown renders the five-stage percentage split (Fig. 2 rows).
+func (r *Report) Breakdown() string {
+	total := r.Total()
+	if total <= 0 {
+		return "(no time recorded)"
+	}
+	var b strings.Builder
+	for s := Stage(0); s < NumStages; s++ {
+		if s > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", s, 100*float64(r.StageWall[s])/float64(total))
+	}
+	return b.String()
+}

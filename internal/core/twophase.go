@@ -1,0 +1,215 @@
+package core
+
+import (
+	"time"
+
+	"sparta/internal/coo"
+	"sparta/internal/hashtab"
+	"sparta/internal/parallel"
+)
+
+// This file implements the two-phase (symbolic + numeric) SpTC that §3.2 of
+// the paper describes as the traditional SpGEMM answer to the
+// unknown-output-size problem [47] — and argues against: "every SpTC is
+// attached to both a symbolic phase and SpTC computation, which is very
+// expensive", particularly because applications compute each SpTC only once
+// in a long contraction sequence, so the symbolic work is never amortized.
+//
+// The symbolic phase runs the full index-search + accumulation structure
+// with keys only (no floating-point values) to count the exact output
+// non-zeros per X sub-tensor; the numeric phase then recomputes the
+// products and writes them directly into the exactly-allocated Z — no
+// thread-local Zlocal buffers and no gather, the one advantage two-phase
+// has over Sparta's dynamic approach. The ablation (sptc-bench -exp
+// twophase) measures the trade both ways.
+
+// contractTwoPhase runs Z = X × Y with HtY + HtA data structures but
+// two-phase output allocation. Inputs are pre-validated by Contract.
+func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
+	threads := rep.Threads
+
+	// ① Input processing — identical to Sparta's.
+	t0 := time.Now()
+	xw := p.x
+	if !opt.InPlace {
+		xw = xw.Clone()
+	}
+	if err := xw.Permute(p.permX); err != nil {
+		return nil, err
+	}
+	xw.Sort(threads)
+	ptrFX, err := xw.SubPtr(p.nfx)
+	if err != nil {
+		return nil, err
+	}
+	rep.NF = len(ptrFX) - 1
+	rep.MaxSubNNZX = coo.MaxSubNNZ(ptrFX)
+	rep.BytesX = xw.Bytes()
+
+	build := hashtab.BuildHtY
+	if opt.TwoPassHtY {
+		build = hashtab.BuildHtY2P
+	}
+	hty := build(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, opt.BucketsHtY, threads)
+	rep.BytesY = p.y.Bytes()
+	rep.BytesHtY = hty.Bytes()
+	rep.BucketsHtY = hty.NumBuckets()
+	rep.DistinctKeysY = hty.NKeys
+	rep.MaxSubNNZY = hty.MaxItems
+	rep.EstBytesHtY = hashtab.EstimateHtYBytes(p.y.NNZ(), p.y.Order(), hty.NumBuckets())
+	rep.StageWall[StageInput] = time.Since(t0)
+	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
+
+	nf := rep.NF
+	chunk := nf / (threads * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	cCols := xw.Inds[p.nfx:]
+
+	// --- Symbolic phase: count exact output non-zeros per sub-tensor ----
+	t0 = time.Now()
+	counts := make([]int, nf)
+	symWorkers := make([]*hashtab.HtA, threads)
+	for i := range symWorkers {
+		hint := opt.HtACapHint
+		if hint <= 0 {
+			hint = 1024
+		}
+		symWorkers[i] = hashtab.NewHtA(hint)
+	}
+	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
+		hta := symWorkers[tid]
+		for f := lo; f < hi; f++ {
+			for i := ptrFX[f]; i < ptrFX[f+1]; i++ {
+				key := p.radC.EncodeStrided(cCols, i)
+				items, _ := hty.Lookup(key)
+				for _, it := range items {
+					hta.Add(it.LNFree, 0) // structure only; values ignored
+				}
+			}
+			counts[f] = hta.Len()
+			hta.Reset()
+		}
+	})
+	rep.Symbolic = time.Since(t0)
+	zoff, total := parallel.PrefixSum(counts)
+	if opt.MaxOutputNNZ > 0 && total > opt.MaxOutputNNZ {
+		return nil, errOutputTooLarge{total, opt.MaxOutputNNZ}
+	}
+
+	// Exact allocation — the symbolic phase's payoff.
+	z, err := coo.New(p.zdims, 0)
+	if err != nil {
+		return nil, err
+	}
+	for m := range z.Inds {
+		z.Inds[m] = make([]uint32, total)
+	}
+	z.Vals = make([]float64, total)
+
+	// --- Numeric phase: recompute with values, write straight into Z ----
+	ws := makeWorkers(threads, p, Options{Algorithm: AlgSparta, HtACapHint: opt.HtACapHint})
+	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
+		w := ws[tid]
+		buf := make([]uint32, p.nfy)
+		for f := lo; f < hi; f++ {
+			// ② index search
+			t := time.Now()
+			w.scratch = w.scratch[:0]
+			for i := ptrFX[f]; i < ptrFX[f+1]; i++ {
+				key := p.radC.EncodeStrided(cCols, i)
+				items, probes := hty.Lookup(key)
+				w.probesHtY += uint64(probes)
+				if items == nil {
+					w.miss++
+					continue
+				}
+				w.hits++
+				w.scratch = append(w.scratch, match{items: items, xv: xw.Vals[i]})
+			}
+			w.searchNS += int64(time.Since(t))
+
+			// ③ accumulation
+			t = time.Now()
+			for _, m := range w.scratch {
+				v := m.xv
+				for _, it := range m.items {
+					w.hta.Add(it.LNFree, it.Val*v)
+				}
+				w.products += uint64(len(m.items))
+			}
+			w.accumNS += int64(time.Since(t))
+
+			// ④ writeback: straight into the pre-sized Z at this
+			// sub-tensor's exact offset.
+			t = time.Now()
+			pos := zoff[f]
+			xAt := ptrFX[f]
+			keys, vals := w.hta.Keys(), w.hta.Vals()
+			for k := range keys {
+				for m := 0; m < p.nfx; m++ {
+					z.Inds[m][pos] = xw.Inds[m][xAt]
+				}
+				p.radFY.Decode(keys[k], buf)
+				for m := 0; m < p.nfy; m++ {
+					z.Inds[p.nfx+m][pos] = buf[m]
+				}
+				z.Vals[pos] = vals[k]
+				pos++
+			}
+			w.hta.Reset()
+			w.writeNS += int64(time.Since(t))
+		}
+	})
+	mergeWorkerStats(rep, ws)
+	for _, sw := range symWorkers {
+		b := sw.Bytes()
+		rep.BytesHtA += b
+		if b > rep.BytesHtAPerThr {
+			rep.BytesHtAPerThr = b
+		}
+	}
+	rep.NNZZ = z.NNZ()
+	rep.BytesZ = z.Bytes()
+	// BytesZLocal stays 0: two-phase has no thread-local output buffers.
+
+	// ⑤ Output sorting.
+	if !opt.SkipOutputSort {
+		t0 = time.Now()
+		z.Sort(threads)
+		rep.StageWall[StageSort] = time.Since(t0)
+		rep.StageCPU[StageSort] = rep.StageWall[StageSort]
+	}
+	return z, nil
+}
+
+// errOutputTooLarge mirrors the MaxOutputNNZ error of the one-phase path.
+type errOutputTooLarge [2]int
+
+func (e errOutputTooLarge) Error() string {
+	return "core: output has " + itoa(e[0]) + " non-zeros, exceeding MaxOutputNNZ " + itoa(e[1])
+}
+
+// itoa avoids pulling strconv into the hot-path file for one error.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,179 @@
+// Package csf implements the compressed sparse fiber (CSF) format (Smith &
+// Karypis, SPLATT) that §3.2 of the Sparta paper weighs against COO and the
+// hash-table representation for the second input tensor. CSF stores a
+// sorted sparse tensor as a tree of fibers: level m holds the distinct
+// mode-m indices under each level-(m-1) fiber, with pointer arrays
+// delimiting children.
+//
+// The paper's argument, which this package lets the evaluation demonstrate
+// (sptc-bench -exp ablation, BenchmarkAblation_IndexSearch): locating the
+// sub-tensor Y(c1, c2, :, :) in CSF takes one binary search per contract
+// level — O(Σ log(fanout)) with pointer chasing between levels — whereas
+// the LN-keyed hash table HtY answers the same query with one O(1) probe.
+package csf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sparta/internal/coo"
+)
+
+// Tensor is a CSF tensor.
+//
+// Fids[m] lists the mode-m indices of the level-m fibers in tree order; the
+// leaf level (m = order-1) has exactly one fiber per non-zero, aligned with
+// Vals. For m < order-1, fiber k's children occupy positions
+// Fptr[m][k] .. Fptr[m][k+1] of level m+1. Fptr[order-1] is unused (nil).
+type Tensor struct {
+	Dims []uint64
+	Fids [][]uint32
+	Fptr [][]int32
+	Vals []float64
+}
+
+// FromCOO builds a CSF tensor from a *sorted*, duplicate-free COO tensor
+// (lexicographic in its current mode order — resort/permute first to choose
+// a different CSF mode order).
+func FromCOO(t *coo.Tensor) (*Tensor, error) {
+	if !t.IsSorted() {
+		return nil, errors.New("csf: input must be sorted")
+	}
+	order := t.Order()
+	n := t.NNZ()
+	c := &Tensor{
+		Dims: append([]uint64(nil), t.Dims...),
+		Fids: make([][]uint32, order),
+		Fptr: make([][]int32, order),
+		Vals: append([]float64(nil), t.Vals...),
+	}
+	// newAt[i] is the shallowest level at which non-zero i differs from
+	// its predecessor; i starts a fiber at every level >= newAt[i].
+	newAt := make([]int, n)
+	for i := 1; i < n; i++ {
+		lvl := order
+		for m := 0; m < order; m++ {
+			if t.Inds[m][i] != t.Inds[m][i-1] {
+				lvl = m
+				break
+			}
+		}
+		if lvl == order {
+			return nil, fmt.Errorf("csf: duplicate coordinate at position %d", i)
+		}
+		newAt[i] = lvl
+	}
+	for m := 0; m < order; m++ {
+		last := m == order-1
+		var childCount int32
+		for i := 0; i < n; i++ {
+			if i == 0 || newAt[i] <= m {
+				c.Fids[m] = append(c.Fids[m], t.Inds[m][i])
+				if !last {
+					// This fiber's children begin with the child fiber
+					// that starts at this same non-zero.
+					c.Fptr[m] = append(c.Fptr[m], childCount)
+				}
+			}
+			if !last && (i == 0 || newAt[i] <= m+1) {
+				childCount++
+			}
+		}
+		if !last {
+			c.Fptr[m] = append(c.Fptr[m], childCount)
+		}
+	}
+	if n == 0 {
+		for m := 0; m < order-1; m++ {
+			c.Fptr[m] = []int32{0}
+		}
+	}
+	return c, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *Tensor) NNZ() int { return len(c.Vals) }
+
+// Order returns the number of modes.
+func (c *Tensor) Order() int { return len(c.Dims) }
+
+// NumFibers returns the fiber count at a level.
+func (c *Tensor) NumFibers(level int) int { return len(c.Fids[level]) }
+
+// ToCOO expands the fiber tree back into sorted COO form.
+func (c *Tensor) ToCOO() *coo.Tensor {
+	order := c.Order()
+	t := coo.MustNew(c.Dims, c.NNZ())
+	idx := make([]uint32, order)
+	var walk func(level, fiber int)
+	walk = func(level, fiber int) {
+		idx[level] = c.Fids[level][fiber]
+		if level == order-1 {
+			t.Append(idx, c.Vals[fiber])
+			return
+		}
+		for ch := c.Fptr[level][fiber]; ch < c.Fptr[level][fiber+1]; ch++ {
+			walk(level+1, int(ch))
+		}
+	}
+	for f := 0; f < c.NumFibers(0); f++ {
+		walk(0, f)
+	}
+	return t
+}
+
+// LookupPrefix locates the sub-tensor whose first len(prefix) mode indices
+// equal prefix, returning its leaf range [lo, hi) (positions into Vals and
+// the leaf Fids) plus the number of index comparisons performed. This is
+// the CSF index search of §3.2: one binary search per level, each over the
+// children of the fiber found at the previous level.
+func (c *Tensor) LookupPrefix(prefix []uint32) (lo, hi int, probes int, ok bool) {
+	if len(prefix) == 0 || len(prefix) > c.Order() {
+		return 0, 0, 0, false
+	}
+	flo, fhi := 0, c.NumFibers(0)
+	for m, want := range prefix {
+		ids := c.Fids[m][flo:fhi]
+		k := sort.Search(len(ids), func(i int) bool { return ids[i] >= want })
+		probes += log2i(len(ids)) + 1
+		if k == len(ids) || ids[k] != want {
+			return 0, 0, probes, false
+		}
+		f := flo + k
+		if m == len(prefix)-1 {
+			l, h := f, f+1
+			for lvl := m; lvl < c.Order()-1; lvl++ {
+				l, h = int(c.Fptr[lvl][l]), int(c.Fptr[lvl][h])
+			}
+			return l, h, probes, true
+		}
+		flo, fhi = int(c.Fptr[m][f]), int(c.Fptr[m][f+1])
+	}
+	return 0, 0, probes, false
+}
+
+// Leaf returns the last-mode index and value of leaf position i.
+func (c *Tensor) Leaf(i int) (uint32, float64) {
+	return c.Fids[c.Order()-1][i], c.Vals[i]
+}
+
+// Bytes estimates the memory footprint of the fiber arrays — CSF's
+// compression advantage over COO that §3.2 concedes before rejecting it for
+// the index-search cost.
+func (c *Tensor) Bytes() uint64 {
+	var b uint64
+	for m := range c.Fids {
+		b += uint64(len(c.Fids[m]))*4 + uint64(len(c.Fptr[m]))*4
+	}
+	return b + uint64(len(c.Vals))*8
+}
+
+func log2i(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,191 @@
+package csf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/coo"
+)
+
+func randomSorted(dims []uint64, nnz int, seed int64) *coo.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := coo.MustNew(dims, nnz)
+	idx := make([]uint32, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		t.Append(idx, rng.NormFloat64())
+	}
+	t.Sort(1)
+	t.Dedup()
+	return t
+}
+
+func TestFromCOORequiresSorted(t *testing.T) {
+	u := coo.MustNew([]uint64{4, 4}, 0)
+	u.Append([]uint32{2, 0}, 1)
+	u.Append([]uint32{0, 0}, 1)
+	if _, err := FromCOO(u); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+}
+
+func TestFromCOORejectsDuplicates(t *testing.T) {
+	u := coo.MustNew([]uint64{4, 4}, 0)
+	u.Append([]uint32{1, 1}, 1)
+	u.Append([]uint32{1, 1}, 2)
+	if _, err := FromCOO(u); err == nil {
+		t.Fatal("duplicate coordinates accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, dims := range [][]uint64{{7}, {5, 6}, {4, 5, 6}, {3, 4, 3, 4}} {
+		u := randomSorted(dims, 60, int64(len(dims)))
+		c, err := FromCOO(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := c.ToCOO()
+		if !u.Equal(back) {
+			t.Fatalf("dims %v: round trip mismatch", dims)
+		}
+		if c.NNZ() != u.NNZ() {
+			t.Fatalf("nnz %d != %d", c.NNZ(), u.NNZ())
+		}
+	}
+}
+
+func TestEmptyTensor(t *testing.T) {
+	u := coo.MustNew([]uint64{3, 3, 3}, 0)
+	c, err := FromCOO(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 0 || c.ToCOO().NNZ() != 0 {
+		t.Fatal("empty tensor mishandled")
+	}
+	if _, _, _, ok := c.LookupPrefix([]uint32{0}); ok {
+		t.Fatal("lookup in empty tensor succeeded")
+	}
+}
+
+func TestKnownStructure(t *testing.T) {
+	// Tensor from the SubPtr test: known fiber structure.
+	u := coo.MustNew([]uint64{3, 3, 3}, 0)
+	for _, r := range [][]uint32{
+		{0, 0, 1}, {0, 0, 2}, {0, 1, 0}, {1, 2, 2}, {2, 0, 0}, {2, 0, 1}, {2, 2, 2},
+	} {
+		u.Append(r, 1)
+	}
+	c, err := FromCOO(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFibers(0) != 3 { // roots 0, 1, 2
+		t.Fatalf("level-0 fibers = %d", c.NumFibers(0))
+	}
+	if c.NumFibers(1) != 5 { // (0,0) (0,1) (1,2) (2,0) (2,2)
+		t.Fatalf("level-1 fibers = %d", c.NumFibers(1))
+	}
+	if c.NumFibers(2) != 7 {
+		t.Fatalf("leaves = %d", c.NumFibers(2))
+	}
+	lo, hi, _, ok := c.LookupPrefix([]uint32{0, 0})
+	if !ok || lo != 0 || hi != 2 {
+		t.Fatalf("LookupPrefix(0,0) = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	lo, hi, _, ok = c.LookupPrefix([]uint32{2})
+	if !ok || lo != 4 || hi != 7 {
+		t.Fatalf("LookupPrefix(2) = [%d,%d) ok=%v", lo, hi, ok)
+	}
+	if _, _, _, ok = c.LookupPrefix([]uint32{1, 0}); ok {
+		t.Fatal("absent prefix found")
+	}
+	if _, _, _, ok = c.LookupPrefix(nil); ok {
+		t.Fatal("empty prefix accepted")
+	}
+	if _, _, _, ok = c.LookupPrefix([]uint32{0, 0, 1, 0}); ok {
+		t.Fatal("over-long prefix accepted")
+	}
+}
+
+// TestLookupMatchesSubPtr cross-checks LookupPrefix against the COO
+// sub-tensor pointers for every existing prefix.
+func TestLookupMatchesSubPtr(t *testing.T) {
+	u := randomSorted([]uint64{6, 5, 4, 3}, 200, 9)
+	c, err := FromCOO(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plen := range []int{1, 2, 3, 4} {
+		ptr, err := u.SubPtr(plen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := make([]uint32, plen)
+		for f := 0; f+1 < len(ptr); f++ {
+			at := ptr[f]
+			for m := 0; m < plen; m++ {
+				prefix[m] = u.Inds[m][at]
+			}
+			lo, hi, _, ok := c.LookupPrefix(prefix)
+			if !ok {
+				t.Fatalf("plen %d: prefix %v not found", plen, prefix)
+			}
+			if lo != ptr[f] || hi != ptr[f+1] {
+				t.Fatalf("plen %d prefix %v: [%d,%d), want [%d,%d)",
+					plen, prefix, lo, hi, ptr[f], ptr[f+1])
+			}
+		}
+	}
+}
+
+// TestQuickRoundTrip fuzzes shapes through the COO→CSF→COO cycle.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		nnz := int(raw)%150 + 1
+		u := randomSorted([]uint64{5, 4, 6}, nnz, seed)
+		c, err := FromCOO(u)
+		if err != nil {
+			return false
+		}
+		return u.Equal(c.ToCOO())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompression: CSF must not exceed COO's footprint on tensors with
+// shared prefixes (its raison d'être).
+func TestCompression(t *testing.T) {
+	u := coo.MustNew([]uint64{4, 1000}, 0)
+	for j := uint32(0); j < 1000; j++ {
+		u.Append([]uint32{1, j}, 1) // single root fiber
+	}
+	c, err := FromCOO(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() >= u.Bytes() {
+		t.Fatalf("CSF %d bytes >= COO %d bytes on a compressible tensor", c.Bytes(), u.Bytes())
+	}
+}
+
+// TestLeafValues checks leaf accessor alignment with LN ordering.
+func TestLeafValues(t *testing.T) {
+	u := randomSorted([]uint64{4, 4, 4}, 30, 3)
+	c, err := FromCOO(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < u.NNZ(); i++ {
+		id, v := c.Leaf(i)
+		if id != u.Inds[2][i] || v != u.Vals[i] {
+			t.Fatalf("leaf %d = (%d, %v), want (%d, %v)", i, id, v, u.Inds[2][i], u.Vals[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewGuards(t *testing.T) {
+	if _, err := New([]uint64{1000, 1000}, 100); err == nil {
+		t.Fatal("maxElems guard did not trip")
+	}
+	if _, err := New([]uint64{0}, 0); err == nil {
+		t.Fatal("zero mode accepted")
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	d := MustNew([]uint64{3, 4}, 0)
+	d.Set([]uint32{1, 2}, 5)
+	d.AddAt([]uint32{1, 2}, 2)
+	if d.At([]uint32{1, 2}) != 7 {
+		t.Fatal("Set/AddAt/At broken")
+	}
+	if d.At([]uint32{0, 0}) != 0 {
+		t.Fatal("unset element not zero")
+	}
+}
+
+func TestCOORoundTrip(t *testing.T) {
+	d := MustNew([]uint64{4, 5, 6}, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30; i++ {
+		d.Set([]uint32{uint32(rng.Intn(4)), uint32(rng.Intn(5)), uint32(rng.Intn(6))}, 1+rng.Float64())
+	}
+	s := d.ToCOO(0)
+	back, err := FromCOO(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := MaxAbsDiff(d, back)
+	if err != nil || diff != 0 {
+		t.Fatalf("round trip diff %v err %v", diff, err)
+	}
+}
+
+func TestToCOOCutoff(t *testing.T) {
+	d := MustNew([]uint64{4}, 0)
+	d.Set([]uint32{0}, 1e-10)
+	d.Set([]uint32{1}, -1e-10)
+	d.Set([]uint32{2}, 0.5)
+	d.Set([]uint32{3}, -0.5)
+	s := d.ToCOO(1e-8)
+	if s.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", s.NNZ())
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 9, 33}, {64, 64, 64}, {65, 1, 130}, {2, 100, 3}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		c1 := make([]float64, m*n)
+		c2 := make([]float64, m*n)
+		Gemm(m, k, n, a, b, c1)
+		GemmNaive(m, k, n, a, b, c2)
+		for i := range c1 {
+			if math.Abs(c1[i]-c2[i]) > 1e-9 {
+				t.Fatalf("dims %v: c[%d] = %v vs %v", dims, i, c1[i], c2[i])
+			}
+		}
+		// Gemm must accumulate, not overwrite.
+		Gemm(m, k, n, a, b, c1)
+		for i := range c1 {
+			if math.Abs(c1[i]-2*c2[i]) > 1e-9 {
+				t.Fatalf("dims %v: Gemm is not accumulating", dims)
+			}
+		}
+	}
+}
+
+func TestGemmParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 150, 40, 160
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	c1 := make([]float64, m*n)
+	c2 := make([]float64, m*n)
+	Gemm(m, k, n, a, b, c1)
+	GemmParallel(m, k, n, a, b, c2, 4)
+	for i := range c1 {
+		if math.Abs(c1[i]-c2[i]) > 1e-9 {
+			t.Fatal("parallel GEMM mismatch")
+		}
+	}
+}
+
+func TestGemmPanicsOnShortBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(2, 2, 2, make([]float64, 3), make([]float64, 4), make([]float64, 4))
+}
+
+// TestContractMatrixCase checks the dense contraction against a hand
+// computation: matrix multiply as mode-(1)(0) contraction.
+func TestContractMatrixCase(t *testing.T) {
+	a := MustNew([]uint64{2, 3}, 0)
+	b := MustNew([]uint64{3, 2}, 0)
+	// a = [[1 2 3],[4 5 6]], b = [[7 8],[9 10],[11 12]]
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	z, err := Contract(a, b, []int{1}, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if math.Abs(z.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("z = %v, want %v", z.Data, want)
+		}
+	}
+}
+
+func TestContractScalarResult(t *testing.T) {
+	a := MustNew([]uint64{3}, 0)
+	b := MustNew([]uint64{3}, 0)
+	copy(a.Data, []float64{1, 2, 3})
+	copy(b.Data, []float64{4, 5, 6})
+	z, err := Contract(a, b, []int{0}, []int{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Data) != 1 || math.Abs(z.Data[0]-32) > 1e-12 {
+		t.Fatalf("inner product = %v", z.Data)
+	}
+}
+
+func TestContractSizeMismatch(t *testing.T) {
+	a := MustNew([]uint64{2, 3}, 0)
+	b := MustNew([]uint64{4, 2}, 0)
+	if _, err := Contract(a, b, []int{1}, []int{0}, 0); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Package gen produces the evaluation workloads. The paper's datasets are
+// multi-GB FROSTT tensors and a quantum-chemistry CCSD tensor; per the
+// reproduction's substitution policy (DESIGN.md §2) each is replaced by a
+// deterministic synthetic generator that preserves the features SpTC cost
+// depends on — order, relative mode sizes, non-zero density, and index skew
+// — scaled so the whole evaluation runs on one machine.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sparta/internal/coo"
+)
+
+// Preset describes one of the paper's datasets (Table 3).
+type Preset struct {
+	Name    string
+	Dims    []uint64 // the paper's full mode sizes
+	NNZ     int      // the paper's non-zero count
+	Density float64  // as reported in Table 3
+	// Alpha is the index-skew exponent: mode indices are drawn as
+	// floor(dim * u^Alpha); 1 = uniform, >1 concentrates mass near low
+	// indices the way real web/social tensors do.
+	Alpha float64
+}
+
+// Presets lists Table 3 in the paper's order.
+var Presets = []Preset{
+	{Name: "Nell-2", Dims: []uint64{12092, 9184, 28818}, NNZ: 76879419, Density: 2.4e-5, Alpha: 1.6},
+	{Name: "NIPS", Dims: []uint64{2482, 2862, 14036, 17}, NNZ: 3101609, Density: 1.8e-6, Alpha: 1.3},
+	{Name: "Uber", Dims: []uint64{183, 24, 1140, 1717}, NNZ: 3309490, Density: 2e-4, Alpha: 1.2},
+	{Name: "Chicago", Dims: []uint64{6186, 24, 77, 32}, NNZ: 5330673, Density: 1e-2, Alpha: 1.1},
+	{Name: "Uracil", Dims: []uint64{90, 90, 174, 174}, NNZ: 10292910, Density: 4.2e-2, Alpha: 1.0},
+	{Name: "Flickr", Dims: []uint64{319686, 28153045, 1607191, 731}, NNZ: 112890310, Density: 1.1e-4, Alpha: 1.8},
+	{Name: "Delicious", Dims: []uint64{532924, 17262471, 2480308, 1443}, NNZ: 140126181, Density: 4.3e-5, Alpha: 1.8},
+	{Name: "Vast", Dims: []uint64{165427, 11374, 2, 100, 89}, NNZ: 26021945, Density: 8e-7, Alpha: 1.2},
+}
+
+// FindPreset returns the preset with the given (case-sensitive) name.
+func FindPreset(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("gen: unknown preset %q", name)
+}
+
+// Generate synthesizes a preset scaled to about targetNNZ non-zeros.
+// Every mode size is scaled by the same factor f with f^order =
+// targetNNZ / preset.NNZ, which preserves the non-zero density and the
+// relative mode sizes. The result is sorted and duplicate-free.
+func Generate(p Preset, targetNNZ int, seed int64) *coo.Tensor {
+	if targetNNZ <= 0 || targetNNZ > p.NNZ {
+		targetNNZ = p.NNZ
+	}
+	order := len(p.Dims)
+	f := math.Pow(float64(targetNNZ)/float64(p.NNZ), 1/float64(order))
+	dims := make([]uint64, order)
+	for m, d := range p.Dims {
+		s := uint64(math.Round(float64(d) * f))
+		if s < 2 {
+			s = 2
+		}
+		if s > d {
+			s = d
+		}
+		dims[m] = s
+	}
+	return RandomSkewed(dims, targetNNZ, p.Alpha, seed)
+}
+
+// RandomSkewed draws a sparse tensor with about nnz distinct non-zeros,
+// mode indices skewed by alpha, values uniform in (0.1, 1.1]. Deterministic
+// in seed. The tensor is sorted with duplicates merged, so the realized
+// non-zero count can be slightly below the request.
+func RandomSkewed(dims []uint64, nnz int, alpha float64, seed int64) *coo.Tensor {
+	t := coo.MustNew(dims, nnz)
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]uint32, len(dims))
+	// Oversample a little; sorting + dedup removes collisions.
+	n := nnz + nnz/16 + 4
+	for i := 0; i < n; i++ {
+		for m, d := range dims {
+			u := rng.Float64()
+			if alpha != 1.0 {
+				u = math.Pow(u, alpha)
+			}
+			v := uint64(u * float64(d))
+			if v >= d {
+				v = d - 1
+			}
+			idx[m] = uint32(v)
+		}
+		t.Append(idx, 0.1+rng.Float64())
+	}
+	t.Sort(1)
+	t.Dedup()
+	trim(t, nnz)
+	return t
+}
+
+// Random draws a uniform sparse tensor (alpha = 1).
+func Random(dims []uint64, nnz int, seed int64) *coo.Tensor {
+	return RandomSkewed(dims, nnz, 1.0, seed)
+}
+
+// trim drops non-zeros past n, keeping the tensor sorted. Dropping a random
+// subset would be marginally more uniform, but the draws are i.i.d. so a
+// prefix of the sorted order is itself an unbiased coordinate sample.
+func trim(t *coo.Tensor, n int) {
+	if t.NNZ() <= n {
+		return
+	}
+	// Drop every k-th element to reach n without biasing toward low
+	// coordinates.
+	keep := make([]int, 0, n)
+	total := t.NNZ()
+	for i := 0; i < n; i++ {
+		keep = append(keep, i*total/n)
+	}
+	for m := range t.Inds {
+		col := t.Inds[m]
+		for w, src := range keep {
+			col[w] = col[src]
+		}
+		t.Inds[m] = col[:n]
+	}
+	for w, src := range keep {
+		t.Vals[w] = t.Vals[src]
+	}
+	t.Vals = t.Vals[:n]
+}
+
+// Workload is one of the paper's 15 dataset-contraction combinations:
+// a preset plus the number of contract modes. Star marks the alternative
+// expression ("Chicago*" etc.) used in the heterogeneous-memory section,
+// which contracts the *leading* modes instead of the trailing ones.
+type Workload struct {
+	Preset Preset
+	Modes  int // number of contract modes (1, 2, or 3)
+	Star   bool
+}
+
+// Name renders e.g. "Chicago 2-Mode" or "NIPS* 3-Mode".
+func (w Workload) Name() string {
+	star := ""
+	if w.Star {
+		star = "*"
+	}
+	return fmt.Sprintf("%s%s %d-Mode", w.Preset.Name, star, w.Modes)
+}
+
+// ContractModes returns the (cmodesX, cmodesY) lists for a self-contraction
+// of an order-N preset tensor: the trailing Modes modes of both tensors
+// (leading modes for starred expressions). Using the same mode list on both
+// sides keeps paired mode sizes trivially equal.
+func (w Workload) ContractModes() (cx, cy []int) {
+	order := len(w.Preset.Dims)
+	m := w.Modes
+	if m > order-1 {
+		m = order - 1
+	}
+	cx = make([]int, m)
+	for k := 0; k < m; k++ {
+		if w.Star {
+			cx[k] = k
+		} else {
+			cx[k] = order - m + k
+		}
+	}
+	cy = append([]int(nil), cx...)
+	return cx, cy
+}
+
+// Fig4Workloads are the 15 combinations of Figure 4 (and the 28–576×
+// headline): Chicago, NIPS, Uber, Vast, Uracil × 1/2/3-mode.
+func Fig4Workloads() []Workload {
+	names := []string{"Chicago", "NIPS", "Uber", "Vast", "Uracil"}
+	var ws []Workload
+	for _, modes := range []int{1, 2, 3} {
+		for _, n := range names {
+			p, _ := FindPreset(n)
+			ws = append(ws, Workload{Preset: p, Modes: modes})
+		}
+	}
+	return ws
+}
+
+// Fig7Workloads are the heterogeneous-memory combinations of Figures 7/9:
+// starred Chicago/NIPS/Vast plus Flickr, Delicious, Nell-2 at 1/2/3 modes
+// (Table: some combinations are absent in the paper because they exceed the
+// machine's memory; we keep the paper's visible set).
+func Fig7Workloads() []Workload {
+	type spec struct {
+		name string
+		star bool
+	}
+	rows := map[int][]spec{
+		1: {{"Chicago", true}, {"NIPS", true}, {"Vast", true}, {"Flickr", false}},
+		2: {{"Chicago", true}, {"NIPS", true}, {"Vast", true}, {"Flickr", false}, {"Delicious", false}, {"Nell-2", false}},
+		3: {{"Chicago", true}, {"NIPS", true}, {"Vast", true}, {"Flickr", false}, {"Delicious", false}},
+	}
+	var ws []Workload
+	for _, modes := range []int{1, 2, 3} {
+		for _, s := range rows[modes] {
+			p, _ := FindPreset(s.name)
+			ws = append(ws, Workload{Preset: p, Modes: modes, Star: s.star})
+		}
+	}
+	return ws
+}
+
+// SortPresetNames returns preset names sorted, for CLI listings.
+func SortPresetNames() []string {
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}

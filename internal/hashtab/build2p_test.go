@@ -1,0 +1,81 @@
+package hashtab
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+)
+
+// TestBuild2PMatchesLocked: the two build strategies must produce
+// equivalent tables (same keys, same item multisets, same stats).
+func TestBuild2PMatchesLocked(t *testing.T) {
+	dims := []uint64{6, 7, 8, 9}
+	rng := rand.New(rand.NewSource(5))
+	y := coo.MustNew(dims, 0)
+	idx := make([]uint32, 4)
+	for i := 0; i < 3000; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		y.Append(idx, rng.Float64())
+	}
+	radC := lnum.MustRadix(dims[:2])
+	radF := lnum.MustRadix(dims[2:])
+	for _, threads := range []int{1, 4} {
+		a := BuildHtY(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, threads)
+		b := BuildHtY2P(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, threads)
+		if a.NKeys != b.NKeys || a.NItems != b.NItems || a.MaxItems != b.MaxItems {
+			t.Fatalf("threads=%d: stats differ: %d/%d/%d vs %d/%d/%d", threads,
+				a.NKeys, a.NItems, a.MaxItems, b.NKeys, b.NItems, b.MaxItems)
+		}
+		for ck := uint64(0); ck < radC.Card(); ck++ {
+			ia, _ := a.Lookup(ck)
+			ib, _ := b.Lookup(ck)
+			if (ia == nil) != (ib == nil) {
+				t.Fatalf("threads=%d key %d: presence differs", threads, ck)
+			}
+			if ia == nil {
+				continue
+			}
+			sum := map[uint64]float64{}
+			for _, it := range ia {
+				sum[it.LNFree] += it.Val
+			}
+			for _, it := range ib {
+				sum[it.LNFree] -= it.Val
+			}
+			for fk, v := range sum {
+				if v < -1e-12 || v > 1e-12 {
+					t.Fatalf("threads=%d key %d free %d: item mismatch %v", threads, ck, fk, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBuild2PEmptyAndSkewed(t *testing.T) {
+	dims := []uint64{4, 5}
+	radC := lnum.MustRadix(dims[:1])
+	radF := lnum.MustRadix(dims[1:])
+	empty := coo.MustNew(dims, 0)
+	h := BuildHtY2P(empty, []int{0}, []int{1}, radC, radF, 0, 2)
+	if h.NKeys != 0 || h.NItems != 0 {
+		t.Fatal("empty build broken")
+	}
+	// All non-zeros under one contract key (the lock-contention case the
+	// two-pass build exists for).
+	y := coo.MustNew(dims, 0)
+	for j := uint32(0); j < 5; j++ {
+		y.Append([]uint32{2, j}, float64(j))
+	}
+	h = BuildHtY2P(y, []int{0}, []int{1}, radC, radF, 4, 3)
+	if h.NKeys != 1 || h.MaxItems != 5 {
+		t.Fatalf("skewed build: keys=%d max=%d", h.NKeys, h.MaxItems)
+	}
+	items, _ := h.Lookup(2)
+	if len(items) != 5 {
+		t.Fatalf("items = %d", len(items))
+	}
+}

@@ -1,0 +1,122 @@
+package hashtab
+
+// HtA is the hash-table-based sparse accumulator of §3.4. It is
+// thread-private (one per worker, reused across sub-tensors), so it needs no
+// locking. Keys are the LN encoding of Y's free indices, taken directly from
+// HtY item lists — the paper's trick of pre-encoding FY once during input
+// processing so no index conversion happens inside the computation loop.
+//
+// Layout: flat key/val/next arrays chained from a power-of-two bucket head
+// array. Entries stay in insertion order, so flushing to Zlocal is a linear
+// scan; chains are index-based (no pointers) to stay compact and
+// GC-friendly.
+type HtA struct {
+	heads []int32 // bucket -> entry index, -1 when empty
+	mask  uint64
+	keys  []uint64
+	vals  []float64
+	next  []int32
+
+	// Hits and Misses count Add outcomes (accumulate vs insert); their sum
+	// is the number of products, the 2*nnz_X*nnz_Favg term of Eq. 4.
+	Hits   uint64
+	Misses uint64
+	// Probes counts chain-node inspections, the random-read measure for
+	// the accumulation access profile.
+	Probes uint64
+}
+
+// NewHtA returns an accumulator sized for about capHint distinct keys.
+func NewHtA(capHint int) *HtA {
+	if capHint < 16 {
+		capHint = 16
+	}
+	nb := nextPow2(capHint)
+	h := &HtA{
+		heads: make([]int32, nb),
+		mask:  uint64(nb - 1),
+		keys:  make([]uint64, 0, capHint),
+		vals:  make([]float64, 0, capHint),
+		next:  make([]int32, 0, capHint),
+	}
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	return h
+}
+
+// Len returns the number of distinct keys accumulated.
+func (h *HtA) Len() int { return len(h.keys) }
+
+// Reset clears the accumulator for the next sub-tensor, keeping both entry
+// capacity and the bucket array (counter state is preserved; it is
+// cumulative per thread). Sparsely used tables unhook only the touched
+// buckets, so a reused accumulator costs O(entries) per sub-tensor, not
+// O(buckets) — with one reset per sub-tensor the difference dominates
+// writeback time on sub-tensor-heavy workloads.
+func (h *HtA) Reset() {
+	if len(h.keys) < len(h.heads)/8 {
+		for _, k := range h.keys {
+			h.heads[hashKey(k)&h.mask] = -1
+		}
+	} else {
+		for i := range h.heads {
+			h.heads[i] = -1
+		}
+	}
+	h.keys = h.keys[:0]
+	h.vals = h.vals[:0]
+	h.next = h.next[:0]
+}
+
+// Add accumulates v under key: Lines 12-15 of Algorithm 2.
+func (h *HtA) Add(key uint64, v float64) {
+	b := hashKey(key) & h.mask
+	for e := h.heads[b]; e >= 0; e = h.next[e] {
+		h.Probes++
+		if h.keys[e] == key {
+			h.vals[e] += v
+			h.Hits++
+			return
+		}
+	}
+	h.Misses++
+	e := int32(len(h.keys))
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	h.next = append(h.next, h.heads[b])
+	h.heads[b] = e
+	if len(h.keys) > len(h.heads) {
+		h.grow()
+	}
+}
+
+// grow doubles the bucket array and rechains every entry; entry storage and
+// insertion order are untouched.
+func (h *HtA) grow() {
+	nb := len(h.heads) * 2
+	h.heads = make([]int32, nb)
+	h.mask = uint64(nb - 1)
+	for i := range h.heads {
+		h.heads[i] = -1
+	}
+	for e := range h.keys {
+		b := hashKey(h.keys[e]) & h.mask
+		h.next[e] = h.heads[b]
+		h.heads[b] = int32(e)
+	}
+}
+
+// Entry returns the i-th (key, value) pair in insertion order.
+func (h *HtA) Entry(i int) (uint64, float64) { return h.keys[i], h.vals[i] }
+
+// Keys exposes the key array in insertion order (read-only view).
+func (h *HtA) Keys() []uint64 { return h.keys }
+
+// Vals exposes the value array in insertion order (read-only view).
+func (h *HtA) Vals() []float64 { return h.vals }
+
+// Bytes reports the current memory footprint of the accumulator.
+func (h *HtA) Bytes() uint64 {
+	return uint64(len(h.heads))*4 + uint64(cap(h.keys))*8 + uint64(cap(h.vals))*8 + uint64(cap(h.next))*4
+}

@@ -1,0 +1,176 @@
+// Package hashtab implements the two hash tables at the heart of Sparta
+// (§3.3, §3.4): HtY, the hash-table representation of the second input
+// tensor keyed by the large-number (LN) encoding of its contract indices,
+// and HtA, the hash-table accumulator keyed by the LN encoding of Y's free
+// indices. Both use integer keys so key matching is a single comparison.
+package hashtab
+
+import (
+	"sync"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+	"sparta/internal/parallel"
+)
+
+// YItem is one non-zero of Y under a given contract key: the LN encoding of
+// its free indices plus its value. Items with the same key live in one
+// dynamic array, preserving the spatial locality sorted COO would have.
+type YItem struct {
+	LNFree uint64
+	Val    float64
+}
+
+// ytEntry is one distinct contract key and its item list.
+type ytEntry struct {
+	key   uint64
+	items []YItem
+}
+
+// ytBucket is a separate-chaining bucket; the mutex serializes concurrent
+// inserts during the parallel COO→HtY conversion (§3.5).
+type ytBucket struct {
+	mu      sync.Mutex
+	entries []ytEntry
+}
+
+// HtY is the hash-table-represented second input tensor.
+type HtY struct {
+	buckets []ytBucket
+	mask    uint64
+	// NKeys is the number of distinct contract-index tuples.
+	NKeys int
+	// NItems is nnz_Y.
+	NItems int
+	// MaxItems is nnz_Fmax of Eq. 6: the largest item list.
+	MaxItems int
+}
+
+// hashKey mixes an LN key into a bucket index; splitmix64 finalizer.
+func hashKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+// nextPow2 returns the smallest power of two >= n (min 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// BuildHtY converts Y (COO, any order) into an HtY. radC and radF encode
+// Y's contract and free modes; cmodes/fmodes give their positions in Y.
+// The conversion is O(nnz_Y) and parallel over the non-zeros with per-bucket
+// locking — the paper's replacement for O(nnz_Y log nnz_Y) sort.
+//
+// buckets <= 0 picks the default: next power of two >= nnz_Y (load factor
+// <= 1 over distinct keys).
+func BuildHtY(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) *HtY {
+	n := y.NNZ()
+	if buckets <= 0 {
+		buckets = nextPow2(n)
+	} else {
+		buckets = nextPow2(buckets)
+	}
+	h := &HtY{
+		buckets: make([]ytBucket, buckets),
+		mask:    uint64(buckets - 1),
+		NItems:  n,
+	}
+	cCols := make([][]uint32, len(cmodes))
+	for k, m := range cmodes {
+		cCols[k] = y.Inds[m]
+	}
+	fCols := make([][]uint32, len(fmodes))
+	for k, m := range fmodes {
+		fCols[k] = y.Inds[m]
+	}
+	parallel.For(threads, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := radC.EncodeStrided(cCols, i)
+			item := YItem{LNFree: radF.EncodeStrided(fCols, i), Val: y.Vals[i]}
+			b := &h.buckets[hashKey(key)&h.mask]
+			b.mu.Lock()
+			found := false
+			for e := range b.entries {
+				if b.entries[e].key == key {
+					b.entries[e].items = append(b.entries[e].items, item)
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.entries = append(b.entries, ytEntry{key: key, items: []YItem{item}})
+			}
+			b.mu.Unlock()
+		}
+	})
+	for bi := range h.buckets {
+		for e := range h.buckets[bi].entries {
+			h.NKeys++
+			if l := len(h.buckets[bi].entries[e].items); l > h.MaxItems {
+				h.MaxItems = l
+			}
+		}
+	}
+	return h
+}
+
+// Lookup returns the item list for an LN contract key, or nil. It also
+// reports the number of entry probes performed, feeding the index-search
+// access profile (Table 2: HtY is random read-only in stage 2).
+func (h *HtY) Lookup(key uint64) (items []YItem, probes int) {
+	b := &h.buckets[hashKey(key)&h.mask]
+	for e := range b.entries {
+		probes++
+		if b.entries[e].key == key {
+			return b.entries[e].items, probes
+		}
+	}
+	return nil, probes
+}
+
+// NumBuckets returns the bucket count.
+func (h *HtY) NumBuckets() int { return len(h.buckets) }
+
+// Bytes reports the measured memory footprint of the table: bucket headers
+// plus per-entry and per-item payloads. Compare EstimateHtYBytes (Eq. 5).
+func (h *HtY) Bytes() uint64 {
+	// bucket header: mutex (8) + slice header (24)
+	total := uint64(len(h.buckets)) * 32
+	for bi := range h.buckets {
+		for e := range h.buckets[bi].entries {
+			total += 8 + 24 // key + items slice header
+			total += uint64(cap(h.buckets[bi].entries[e].items)) * 16
+		}
+	}
+	return total
+}
+
+// EstimateHtYBytes is Eq. 5: Size_ep*#Buckets + nnz_Y*(Size_idx*N_Y +
+// Size_val + Size_ep). Computable before the build from tensor features
+// alone, which is what lets the heterogeneous-memory planner place HtY
+// before it exists.
+func EstimateHtYBytes(nnzY, orderY, buckets int) uint64 {
+	const sizeEP = 8  // entry pointer
+	const sizeIdx = 8 // paper counts one index word per mode
+	const sizeVal = 8
+	return uint64(buckets)*sizeEP + uint64(nnzY)*(sizeIdx*uint64(orderY)+sizeVal+sizeEP)
+}
+
+// EstimateHtABytes is Eq. 6: the upper bound Size_ep*#Buckets +
+// nnz_Fmax(X) * nnz_Fmax(Y) * (Size_idx*|F_Y| + Size_val + Size_ep).
+func EstimateHtABytes(buckets, nnzFmaxX, nnzFmaxY, freeModesY int) uint64 {
+	const sizeEP = 8
+	const sizeIdx = 8
+	const sizeVal = 8
+	return uint64(buckets)*sizeEP +
+		uint64(nnzFmaxX)*uint64(nnzFmaxY)*(sizeIdx*uint64(freeModesY)+sizeVal+sizeEP)
+}

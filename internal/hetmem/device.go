@@ -1,0 +1,56 @@
+// Package hetmem simulates the DRAM + Intel Optane DC PMM heterogeneous
+// memory system of §4. The paper's HM results are driven by two things:
+// (a) which data objects see sequential vs random and read vs write traffic
+// in each stage (their Table 2), and (b) PMM's asymmetric latency and
+// bandwidth (§2.3). This package records (a) exactly — from the operation
+// counters the real contraction keeps — and applies (b) analytically.
+//
+// Calibration: the all-DRAM simulated stage times are anchored to the
+// *measured* stage walls of the real run (this machine is DRAM-only), so
+// the model only decides ratios — how much each stage slows down when some
+// object moves to PMM — which is exactly the part the device parameters
+// determine. Absolute seconds under PMM placements are therefore simulated,
+// while orderings and crossovers reflect the recorded access structure.
+package hetmem
+
+// Device models one memory tier with the latency/bandwidth numbers the
+// paper reports for its evaluation platform (§2.3).
+type Device struct {
+	Name string
+	// Latencies in nanoseconds.
+	SeqReadLat, RandReadLat   float64
+	SeqWriteLat, RandWriteLat float64
+	// Bandwidths in GB/s (≈ bytes per nanosecond).
+	ReadBW, WriteBW float64
+}
+
+// DRAM and PMM are the paper's measured device parameters.
+var (
+	DRAM = Device{
+		Name:       "DRAM",
+		SeqReadLat: 79, RandReadLat: 87,
+		SeqWriteLat: 86, RandWriteLat: 87,
+		ReadBW: 104, WriteBW: 80,
+	}
+	PMM = Device{
+		Name:       "Optane",
+		SeqReadLat: 174, RandReadLat: 304,
+		SeqWriteLat: 104, RandWriteLat: 127,
+		ReadBW: 39, WriteBW: 13,
+	}
+)
+
+// mlp is the assumed memory-level parallelism for random accesses: several
+// misses are in flight at once, so the effective per-access stall is
+// latency/mlp.
+const mlp = 4.0
+
+// cost returns the modeled nanoseconds for an access pattern on the device.
+func (d Device) cost(p Pattern) float64 {
+	ns := float64(p.SeqReadBytes)/d.ReadBW + float64(p.SeqWriteBytes)/d.WriteBW
+	ns += float64(p.RandReads) * d.RandReadLat / mlp
+	ns += float64(p.RandWrites) * d.RandWriteLat / mlp
+	// Random accesses still move their cache lines through the device.
+	ns += float64(p.RandReads*p.OpBytes)/d.ReadBW + float64(p.RandWrites*p.OpBytes)/d.WriteBW
+	return ns
+}

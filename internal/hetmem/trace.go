@@ -1,0 +1,57 @@
+package hetmem
+
+import (
+	"time"
+
+	"sparta/internal/core"
+)
+
+// TracePoint is one sample of a Fig. 8-style bandwidth timeline.
+type TracePoint struct {
+	At   time.Duration
+	DRAM float64 // GB/s
+	PMM  float64 // GB/s
+}
+
+// BandwidthTrace expands a policy result into a time series: each stage
+// contributes samples at its average DRAM and PMM bandwidth (demand traffic
+// plus an even share of the policy's migration traffic). samples sets the
+// total number of points across the run.
+func BandwidthTrace(r Result, samples int) []TracePoint {
+	if samples < 1 {
+		samples = 1
+	}
+	if r.Total <= 0 {
+		return nil
+	}
+	var pts []TracePoint
+	var at time.Duration
+	var totalBytes uint64
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		totalBytes += r.DRAMBytes[s] + r.PMMBytes[s]
+	}
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		dur := r.StageTime[s]
+		if dur <= 0 {
+			continue
+		}
+		n := int(int64(samples) * int64(dur) / int64(r.Total))
+		if n < 1 {
+			n = 1
+		}
+		// Migration traffic splits across stages by their demand share.
+		var mig float64
+		if totalBytes > 0 {
+			mig = float64(r.MigratedBytes) * float64(r.DRAMBytes[s]+r.PMMBytes[s]) / float64(totalBytes)
+		}
+		durNS := float64(dur)
+		dramBW := (float64(r.DRAMBytes[s]) + mig/2) / durNS
+		pmmBW := (float64(r.PMMBytes[s]) + mig/2) / durNS
+		step := dur / time.Duration(n)
+		for i := 0; i < n; i++ {
+			at += step
+			pts = append(pts, TracePoint{At: at, DRAM: dramBW, PMM: pmmBW})
+		}
+	}
+	return pts
+}

@@ -1,0 +1,198 @@
+// Package hicoo implements the hierarchical coordinate (HiCOO) sparse
+// tensor format (Li et al., SC'18 — the paper's reference [37]). Sparta's
+// related-work section commits to it as future work: "[this work] will
+// adopt a more compressed format for the sparse tensor X according to SpTC
+// operations". HiCOO groups non-zeros into aligned 2^bits-wide blocks per
+// mode; each non-zero then stores one byte per mode of local offset instead
+// of four, with the block coordinates amortized across the block.
+//
+// The package provides the format itself (build, expand, iterate,
+// footprint) and the measurement hooks the evaluation uses
+// (sptc-bench -exp hicoo): compression ratio versus COO and CSF, and scan
+// throughput. Full contraction on HiCOO-compressed X is exactly the
+// paper's declared future work and is intentionally out of scope here.
+package hicoo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+)
+
+// Tensor is a HiCOO tensor: non-zeros are grouped into blocks of extent
+// 2^Bits per mode. Blocks appear in block-lexicographic order; within a
+// block, elements are in local-lexicographic order.
+type Tensor struct {
+	Dims []uint64
+	Bits uint
+	// BPtr delimits block b's elements: [BPtr[b], BPtr[b+1]).
+	BPtr []int32
+	// BInds[m][b] is the block coordinate of block b on mode m.
+	BInds [][]uint32
+	// EInds[m][i] is the one-byte local offset of non-zero i on mode m.
+	EInds [][]uint8
+	// Vals[i] is the value of non-zero i.
+	Vals []float64
+}
+
+// FromCOO compresses a duplicate-free COO tensor into HiCOO with 2^bits
+// block extents (1 <= bits <= 8 so local offsets fit one byte). The input
+// is re-sorted into block-major order internally; the original tensor is
+// not modified.
+func FromCOO(t *coo.Tensor, bits uint) (*Tensor, error) {
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("hicoo: bits %d out of range [1,8]", bits)
+	}
+	order := t.Order()
+	n := t.NNZ()
+	h := &Tensor{
+		Dims:  append([]uint64(nil), t.Dims...),
+		Bits:  bits,
+		BInds: make([][]uint32, order),
+		EInds: make([][]uint8, order),
+		Vals:  make([]float64, 0, n),
+	}
+	if n == 0 {
+		h.BPtr = []int32{0}
+		return h, nil
+	}
+
+	// Sort positions into block-major order: primary key = LN-encoded
+	// block tuple; ties (same block) break on the raw coordinates, whose
+	// lexicographic order within one block equals local-offset order.
+	blockDims := make([]uint64, order)
+	for m, d := range t.Dims {
+		blockDims[m] = (d-1)>>bits + 1
+	}
+	if _, err := lnum.NewRadix(blockDims); err != nil {
+		return nil, fmt.Errorf("hicoo: block index space overflows: %w", err)
+	}
+	bks := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var bk uint64
+		for m := 0; m < order; m++ {
+			bk = bk*blockDims[m] + uint64(t.Inds[m][i]>>bits)
+		}
+		bks[i] = bk
+	}
+	cmpIdx := func(a, b int) int {
+		for m := 0; m < order; m++ {
+			va, vb := t.Inds[m][a], t.Inds[m][b]
+			if va != vb {
+				if va < vb {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	sort.Slice(pos, func(a, b int) bool {
+		pa, pb := pos[a], pos[b]
+		if bks[pa] != bks[pb] {
+			return bks[pa] < bks[pb]
+		}
+		return cmpIdx(pa, pb) < 0
+	})
+
+	// Duplicate check: same block and same coordinates.
+	for k := 1; k < n; k++ {
+		if bks[pos[k]] == bks[pos[k-1]] && cmpIdx(pos[k], pos[k-1]) == 0 {
+			return nil, errors.New("hicoo: duplicate coordinates")
+		}
+	}
+
+	for m := 0; m < order; m++ {
+		h.EInds[m] = make([]uint8, 0, n)
+	}
+	mask := uint32(1<<bits - 1)
+	var lastBK uint64
+	for k, p := range pos {
+		if k == 0 || bks[p] != lastBK {
+			h.BPtr = append(h.BPtr, int32(k))
+			for m := 0; m < order; m++ {
+				h.BInds[m] = append(h.BInds[m], t.Inds[m][p]>>bits)
+			}
+			lastBK = bks[p]
+		}
+		for m := 0; m < order; m++ {
+			h.EInds[m] = append(h.EInds[m], uint8(t.Inds[m][p]&mask))
+		}
+		h.Vals = append(h.Vals, t.Vals[p])
+	}
+	h.BPtr = append(h.BPtr, int32(n))
+	return h, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (h *Tensor) NNZ() int { return len(h.Vals) }
+
+// Order returns the number of modes.
+func (h *Tensor) Order() int { return len(h.Dims) }
+
+// NumBlocks returns the number of non-empty blocks.
+func (h *Tensor) NumBlocks() int { return len(h.BPtr) - 1 }
+
+// AvgBlockNNZ returns the mean non-zeros per block (0 for empty tensors) —
+// the block density cb that HiCOO's compression depends on.
+func (h *Tensor) AvgBlockNNZ() float64 {
+	if h.NumBlocks() == 0 {
+		return 0
+	}
+	return float64(h.NNZ()) / float64(h.NumBlocks())
+}
+
+// Index reconstructs the full coordinate tuple of non-zero i into dst.
+// The owning block is found by binary search; scanning code should use
+// Blocks/Block iteration instead.
+func (h *Tensor) Index(i int, dst []uint32) {
+	b := sort.Search(len(h.BPtr)-1, func(b int) bool { return h.BPtr[b+1] > int32(i) })
+	for m := 0; m < h.Order(); m++ {
+		dst[m] = h.BInds[m][b]<<h.Bits | uint32(h.EInds[m][i])
+	}
+}
+
+// Scan walks every non-zero in block-major order, calling f with the
+// reconstructed coordinates (valid only during the call) and value.
+func (h *Tensor) Scan(f func(idx []uint32, v float64)) {
+	order := h.Order()
+	idx := make([]uint32, order)
+	base := make([]uint32, order)
+	for b := 0; b+1 < len(h.BPtr); b++ {
+		for m := 0; m < order; m++ {
+			base[m] = h.BInds[m][b] << h.Bits
+		}
+		for i := h.BPtr[b]; i < h.BPtr[b+1]; i++ {
+			for m := 0; m < order; m++ {
+				idx[m] = base[m] | uint32(h.EInds[m][i])
+			}
+			f(idx, h.Vals[i])
+		}
+	}
+}
+
+// ToCOO expands back to COO. The result is in block-major order, not
+// lexicographic order; call Sort to re-sort if needed.
+func (h *Tensor) ToCOO() *coo.Tensor {
+	t := coo.MustNew(h.Dims, h.NNZ())
+	h.Scan(func(idx []uint32, v float64) { t.Append(idx, v) })
+	return t
+}
+
+// Bytes reports the payload footprint: block pointers and coordinates plus
+// one byte per mode per non-zero and the values — the quantity HiCOO
+// compresses relative to COO's 4 bytes per mode per non-zero.
+func (h *Tensor) Bytes() uint64 {
+	b := uint64(len(h.BPtr)) * 4
+	for m := range h.BInds {
+		b += uint64(len(h.BInds[m]))*4 + uint64(len(h.EInds[m]))
+	}
+	return b + uint64(len(h.Vals))*8
+}

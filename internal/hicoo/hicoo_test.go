@@ -1,0 +1,190 @@
+package hicoo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/coo"
+)
+
+func randomSorted(dims []uint64, nnz int, seed int64) *coo.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := coo.MustNew(dims, nnz)
+	idx := make([]uint32, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		t.Append(idx, rng.NormFloat64())
+	}
+	t.Sort(1)
+	t.Dedup()
+	return t
+}
+
+func TestFromCOOValidation(t *testing.T) {
+	u := randomSorted([]uint64{10, 10}, 20, 1)
+	for _, bits := range []uint{0, 9} {
+		if _, err := FromCOO(u, bits); err == nil {
+			t.Errorf("bits=%d accepted", bits)
+		}
+	}
+	dup := coo.MustNew([]uint64{4, 4}, 0)
+	dup.Append([]uint32{1, 1}, 1)
+	dup.Append([]uint32{1, 1}, 2)
+	if _, err := FromCOO(dup, 4); err == nil {
+		t.Error("duplicates accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, dims := range [][]uint64{{300}, {100, 90}, {40, 50, 60}, {20, 20, 20, 20}} {
+		for _, bits := range []uint{1, 4, 7, 8} {
+			u := randomSorted(dims, 300, int64(len(dims))*10+int64(bits))
+			h, err := FromCOO(u, bits)
+			if err != nil {
+				t.Fatalf("dims %v bits %d: %v", dims, bits, err)
+			}
+			if h.NNZ() != u.NNZ() {
+				t.Fatalf("nnz %d != %d", h.NNZ(), u.NNZ())
+			}
+			back := h.ToCOO()
+			back.Sort(1)
+			if !u.Equal(back) {
+				t.Fatalf("dims %v bits %d: round trip mismatch", dims, bits)
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	u := coo.MustNew([]uint64{8, 8}, 0)
+	h, err := FromCOO(u, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NNZ() != 0 || h.NumBlocks() != 0 || h.AvgBlockNNZ() != 0 {
+		t.Fatal("empty tensor mishandled")
+	}
+	if h.ToCOO().NNZ() != 0 {
+		t.Fatal("empty expand broken")
+	}
+}
+
+func TestBlockStructure(t *testing.T) {
+	// 2-bit blocks (extent 4): coordinates 0-3 share block 0, 4-7 block 1.
+	u := coo.MustNew([]uint64{16, 16}, 0)
+	u.Append([]uint32{0, 0}, 1)
+	u.Append([]uint32{3, 3}, 2) // same block as (0,0)
+	u.Append([]uint32{0, 4}, 3) // block (0,1)
+	u.Append([]uint32{4, 0}, 4) // block (1,0)
+	h, err := FromCOO(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3", h.NumBlocks())
+	}
+	if h.AvgBlockNNZ() != 4.0/3.0 {
+		t.Fatalf("avg block nnz = %v", h.AvgBlockNNZ())
+	}
+	// Block 0 holds two elements with local offsets (0,0) and (3,3).
+	if h.BPtr[1]-h.BPtr[0] != 2 {
+		t.Fatalf("block 0 span = %d", h.BPtr[1]-h.BPtr[0])
+	}
+	if h.EInds[0][1] != 3 || h.EInds[1][1] != 3 {
+		t.Fatalf("local offsets = %d,%d", h.EInds[0][1], h.EInds[1][1])
+	}
+	idx := make([]uint32, 2)
+	h.Index(1, idx)
+	if idx[0] != 3 || idx[1] != 3 {
+		t.Fatalf("Index(1) = %v", idx)
+	}
+	h.Index(3, idx) // last element, block (1,0)
+	if idx[0] != 4 || idx[1] != 0 {
+		t.Fatalf("Index(3) = %v", idx)
+	}
+}
+
+// TestCompression: on a block-dense tensor HiCOO must be much smaller than
+// COO; on a pathological one-nnz-per-block tensor it may be larger.
+func TestCompression(t *testing.T) {
+	// Dense 32x32 corner of a large tensor: one 2^5... use bits=5? max 8.
+	u := coo.MustNew([]uint64{1 << 12, 1 << 12}, 0)
+	for i := uint32(0); i < 64; i++ {
+		for j := uint32(0); j < 64; j++ {
+			u.Append([]uint32{i, j}, 1)
+		}
+	}
+	u.Sort(1)
+	h, err := FromCOO(u, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1", h.NumBlocks())
+	}
+	// COO: 16 B/elem; HiCOO here: ~10 B/elem.
+	if h.Bytes() >= u.Bytes() {
+		t.Fatalf("HiCOO %d >= COO %d on a block-dense tensor", h.Bytes(), u.Bytes())
+	}
+
+	// Scattered tensor: every non-zero its own block — HiCOO pays for the
+	// block headers.
+	v := coo.MustNew([]uint64{1 << 20}, 0)
+	for i := 0; i < 100; i++ {
+		v.Append([]uint32{uint32(i) << 10}, 1)
+	}
+	hv, err := FromCOO(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.NumBlocks() != 100 {
+		t.Fatalf("scattered blocks = %d", hv.NumBlocks())
+	}
+}
+
+func TestScanMatchesIndex(t *testing.T) {
+	u := randomSorted([]uint64{50, 60, 70}, 400, 7)
+	h, err := FromCOO(u, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	idx2 := make([]uint32, 3)
+	h.Scan(func(idx []uint32, v float64) {
+		h.Index(i, idx2)
+		for m := range idx {
+			if idx[m] != idx2[m] {
+				t.Fatalf("position %d: Scan %v vs Index %v", i, idx, idx2)
+			}
+		}
+		if v != h.Vals[i] {
+			t.Fatalf("position %d: value mismatch", i)
+		}
+		i++
+	})
+	if i != h.NNZ() {
+		t.Fatalf("Scan visited %d of %d", i, h.NNZ())
+	}
+}
+
+// Property: round trip preserves the tensor for arbitrary inputs and bits.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, rawBits, rawN uint8) bool {
+		bits := uint(rawBits)%8 + 1
+		nnz := int(rawN)%200 + 1
+		u := randomSorted([]uint64{64, 48, 32}, nnz, seed)
+		h, err := FromCOO(u, bits)
+		if err != nil {
+			return false
+		}
+		back := h.ToCOO()
+		back.Sort(1)
+		return u.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

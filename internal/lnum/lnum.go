@@ -1,0 +1,119 @@
+// Package lnum implements the "large-number" (LN) representation from the
+// Sparta paper (PPoPP'21, §3.3): a mixed-radix linearization that converts a
+// multi-dimensional index tuple into a single uint64 so that hash-table key
+// comparison is a single integer compare instead of a tuple compare.
+//
+// For a tuple (i0, i1, ..., ik) over mode sizes (d0, d1, ..., dk) the large
+// number is (((i0*d1)+i1)*d2+i2)... — i.e. row-major linearization. The
+// mapping is a bijection between the index box and [0, d0*d1*...*dk).
+package lnum
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrOverflow is reported when the product of mode sizes does not fit in a
+// uint64, which would make the LN representation ambiguous.
+var ErrOverflow = errors.New("lnum: mode-size product overflows uint64")
+
+// Radix is a precomputed mixed-radix encoder for a fixed tuple of mode sizes.
+// The zero value is a valid encoder for the empty tuple (always encoding 0).
+type Radix struct {
+	dims    []uint64 // mode sizes
+	strides []uint64 // strides[m] = product of dims[m+1:]
+	card    uint64   // product of all dims (0 if any dim is 0 and len>0)
+}
+
+// NewRadix builds an encoder for the given mode sizes. It fails with
+// ErrOverflow when the total cardinality exceeds uint64, and rejects
+// zero-sized modes (a tensor mode always has size >= 1).
+func NewRadix(dims []uint64) (*Radix, error) {
+	r := &Radix{
+		dims:    append([]uint64(nil), dims...),
+		strides: make([]uint64, len(dims)),
+		card:    1,
+	}
+	for m := len(dims) - 1; m >= 0; m-- {
+		d := dims[m]
+		if d == 0 {
+			return nil, fmt.Errorf("lnum: mode %d has size 0", m)
+		}
+		r.strides[m] = r.card
+		hi, lo := mul64(r.card, d)
+		if hi != 0 {
+			return nil, ErrOverflow
+		}
+		r.card = lo
+	}
+	return r, nil
+}
+
+// MustRadix is NewRadix that panics on error; for use with dims already
+// validated by the caller.
+func MustRadix(dims []uint64) *Radix {
+	r, err := NewRadix(dims)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Order returns the number of modes the encoder covers.
+func (r *Radix) Order() int { return len(r.dims) }
+
+// Card returns the total cardinality (product of mode sizes).
+func (r *Radix) Card() uint64 { return r.card }
+
+// Dims returns the mode sizes (shared slice; do not mutate).
+func (r *Radix) Dims() []uint64 { return r.dims }
+
+// Encode linearizes idx. idx must have exactly Order() entries, each within
+// its mode size; violations panic (they indicate a caller bug, not input
+// error — inputs are validated at tensor construction).
+func (r *Radix) Encode(idx []uint32) uint64 {
+	if len(idx) != len(r.dims) {
+		panic(fmt.Sprintf("lnum: Encode arity %d, want %d", len(idx), len(r.dims)))
+	}
+	var ln uint64
+	for m, v := range idx {
+		if uint64(v) >= r.dims[m] {
+			panic(fmt.Sprintf("lnum: index %d out of range for mode %d (size %d)", v, m, r.dims[m]))
+		}
+		ln = ln*r.dims[m] + uint64(v)
+	}
+	return ln
+}
+
+// EncodeStrided linearizes a subset of the columns of a mode-major index
+// store: idx[k][at] supplies the k-th tuple element. This avoids gathering a
+// temporary tuple in hot loops.
+func (r *Radix) EncodeStrided(idx [][]uint32, at int) uint64 {
+	var ln uint64
+	for m := range r.dims {
+		ln = ln*r.dims[m] + uint64(idx[m][at])
+	}
+	return ln
+}
+
+// Decode inverts Encode into dst, which must have Order() entries.
+func (r *Radix) Decode(ln uint64, dst []uint32) {
+	if len(dst) != len(r.dims) {
+		panic(fmt.Sprintf("lnum: Decode arity %d, want %d", len(dst), len(r.dims)))
+	}
+	for m := len(r.dims) - 1; m >= 0; m-- {
+		d := r.dims[m]
+		dst[m] = uint32(ln % d)
+		ln /= d
+	}
+}
+
+// At extracts the m-th tuple element of an encoded value without decoding
+// the whole tuple.
+func (r *Radix) At(ln uint64, m int) uint32 {
+	return uint32(ln / r.strides[m] % r.dims[m])
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) { return bits.Mul64(a, b) }

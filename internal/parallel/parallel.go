@@ -1,0 +1,168 @@
+// Package parallel provides the thread-pool primitives shared by all Sparta
+// stages: static range partitioning (For), dynamic chunked scheduling
+// (ForChunked), and a depth-bounded goroutine fan-out used by the parallel
+// quicksort in package coo.
+//
+// The paper parallelizes all five SpTC stages with OpenMP; here each stage
+// maps onto one of these helpers with an explicit thread count so that the
+// thread-scalability experiment (Fig. 6) can sweep it.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultThreads returns the thread count used when an Options leaves it 0.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp normalizes a requested thread count: values < 1 become
+// DefaultThreads(), and the result never exceeds n (no point spawning more
+// workers than items).
+func Clamp(threads, n int) int {
+	if threads < 1 {
+		threads = DefaultThreads()
+	}
+	if n < 1 {
+		return 1
+	}
+	if threads > n {
+		threads = n
+	}
+	return threads
+}
+
+// For splits [0,n) into `threads` contiguous ranges and runs body(tid, lo, hi)
+// on each in its own goroutine. Static partitioning preserves the locality of
+// sorted inputs, which is what the computation stages rely on (each thread
+// owns a contiguous run of X sub-tensors).
+func For(threads, n int, body func(tid, lo, hi int)) {
+	threads = Clamp(threads, n)
+	if threads == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		lo := n * t / threads
+		hi := n * (t + 1) / threads
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			body(tid, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked schedules [0,n) in fixed-size chunks pulled from a shared
+// counter — dynamic load balancing for irregular work such as sub-tensors
+// with skewed non-zero counts. chunk < 1 picks a heuristic.
+func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
+	threads = Clamp(threads, n)
+	if chunk < 1 {
+		chunk = (n + threads*8 - 1) / (threads * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if threads == 1 {
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(0, lo, hi)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() (int, int, bool) {
+		mu.Lock()
+		lo := int(next)
+		if lo >= n {
+			mu.Unlock()
+			return 0, 0, false
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		mu.Unlock()
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				lo, hi, ok := take()
+				if !ok {
+					return
+				}
+				body(tid, lo, hi)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Fanout is a depth-budgeted goroutine spawner for divide-and-conquer
+// algorithms (parallel quicksort). Spawn returns true and runs f
+// asynchronously while budget remains; otherwise the caller should recurse
+// serially. Wait blocks until every spawned task (transitively) finished.
+type Fanout struct {
+	wg     sync.WaitGroup
+	budget int64
+	mu     sync.Mutex
+}
+
+// NewFanout allows roughly 4*threads concurrent tasks, enough to smooth
+// quicksort's uneven splits without goroutine storms.
+func NewFanout(threads int) *Fanout {
+	if threads < 1 {
+		threads = DefaultThreads()
+	}
+	return &Fanout{budget: int64(4 * threads)}
+}
+
+// Spawn runs f in a new goroutine if budget remains, returning true; the
+// budget slot is returned when f completes.
+func (fo *Fanout) Spawn(f func()) bool {
+	fo.mu.Lock()
+	if fo.budget <= 0 {
+		fo.mu.Unlock()
+		return false
+	}
+	fo.budget--
+	fo.mu.Unlock()
+	fo.wg.Add(1)
+	go func() {
+		defer func() {
+			fo.mu.Lock()
+			fo.budget++
+			fo.mu.Unlock()
+			fo.wg.Done()
+		}()
+		f()
+	}()
+	return true
+}
+
+// Wait blocks until all spawned work has completed.
+func (fo *Fanout) Wait() { fo.wg.Wait() }
+
+// PrefixSum computes the exclusive prefix sum of counts and returns the
+// total. Used by the writeback stage to assign each thread-local Zlocal a
+// disjoint output range.
+func PrefixSum(counts []int) (offsets []int, total int) {
+	offsets = make([]int, len(counts))
+	for i, c := range counts {
+		offsets[i] = total
+		total += c
+	}
+	return offsets, total
+}

@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if Clamp(0, 10) < 1 {
+		t.Fatal("Clamp(0, ...) must be >= 1")
+	}
+	if got := Clamp(8, 3); got != 3 {
+		t.Fatalf("Clamp(8,3) = %d", got)
+	}
+	if got := Clamp(2, 0); got != 1 {
+		t.Fatalf("Clamp(2,0) = %d", got)
+	}
+}
+
+func TestForCoversRangeExactly(t *testing.T) {
+	for _, threads := range []int{1, 3, 7} {
+		for _, n := range []int{0, 1, 5, 100, 101} {
+			hits := make([]int32, n)
+			For(threads, n, func(tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d hit %d times", threads, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForTidsDistinct(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	For(4, 100, func(tid, lo, hi int) {
+		mu.Lock()
+		if seen[tid] {
+			mu.Unlock()
+			t.Errorf("tid %d reused", tid)
+			return
+		}
+		seen[tid] = true
+		mu.Unlock()
+	})
+}
+
+func TestForChunkedCoversRangeExactly(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		for _, chunk := range []int{0, 1, 7, 1000} {
+			n := 523
+			hits := make([]int32, n)
+			ForChunked(threads, n, chunk, func(tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d chunk=%d: index %d hit %d times", threads, chunk, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedZero(t *testing.T) {
+	called := false
+	ForChunked(4, 0, 1, func(tid, lo, hi int) {
+		if lo < hi {
+			called = true
+		}
+	})
+	if called {
+		t.Fatal("body called with non-empty range for n=0")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	fo := NewFanout(2)
+	var count int64
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		atomic.AddInt64(&count, 1)
+		if depth == 0 {
+			return
+		}
+		for i := 0; i < 2; i++ {
+			d := depth - 1
+			if !fo.Spawn(func() { spawn(d) }) {
+				spawn(d)
+			}
+		}
+	}
+	spawn(6)
+	fo.Wait()
+	if count != 127 {
+		t.Fatalf("count = %d, want 127", count)
+	}
+}
+
+func TestPrefixSum(t *testing.T) {
+	offs, total := PrefixSum([]int{3, 0, 5, 2})
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int{0, 3, 3, 8}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offs = %v", offs)
+		}
+	}
+	offs, total = PrefixSum(nil)
+	if total != 0 || len(offs) != 0 {
+		t.Fatal("empty prefix sum broken")
+	}
+}

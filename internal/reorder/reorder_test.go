@@ -1,0 +1,140 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparta/internal/coo"
+	"sparta/internal/core"
+	"sparta/internal/gen"
+)
+
+func randomSorted(dims []uint64, nnz int, seed int64) *coo.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := coo.MustNew(dims, nnz)
+	idx := make([]uint32, len(dims))
+	for i := 0; i < nnz; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		t.Append(idx, rng.NormFloat64())
+	}
+	t.Sort(1)
+	t.Dedup()
+	return t
+}
+
+func TestApplyUndoRoundTrip(t *testing.T) {
+	u := randomSorted([]uint64{20, 30, 10}, 200, 1)
+	snap := u.Clone()
+	r := ByFrequency(u)
+	if err := r.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Equal(snap) {
+		t.Fatal("relabeling was a no-op on a random tensor")
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Undo(u); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(snap) {
+		t.Fatal("Undo did not restore the original labels")
+	}
+}
+
+func TestFrequencyOrdering(t *testing.T) {
+	// Mode 0: value 7 has 3 non-zeros, value 2 has 1 -> 7 relabels to 0.
+	u := coo.MustNew([]uint64{10, 2}, 0)
+	u.Append([]uint32{7, 0}, 1)
+	u.Append([]uint32{7, 1}, 1)
+	u.Append([]uint32{2, 0}, 1)
+	u.Append([]uint32{7, 0}, 1) // duplicate coordinate is fine for counting
+	r := ByFrequency(u)
+	if r.Fwd[0][7] != 0 {
+		t.Fatalf("hottest value relabeled to %d, want 0", r.Fwd[0][7])
+	}
+	if r.Fwd[0][2] != 1 {
+		t.Fatalf("second value relabeled to %d, want 1", r.Fwd[0][2])
+	}
+	// Bijectivity on every mode.
+	for m := range r.Fwd {
+		seen := map[uint32]bool{}
+		for _, v := range r.Fwd[m] {
+			if seen[v] {
+				t.Fatalf("mode %d: relabeling not injective", m)
+			}
+			seen[v] = true
+		}
+		for old, nw := range r.Fwd[m] {
+			if r.Inv[m][nw] != uint32(old) {
+				t.Fatalf("mode %d: Inv does not invert Fwd", m)
+			}
+		}
+	}
+}
+
+func TestArityChecks(t *testing.T) {
+	u := randomSorted([]uint64{5, 5}, 10, 2)
+	r := ByFrequency(u)
+	other := randomSorted([]uint64{5, 5, 5}, 10, 3)
+	if err := r.Apply(other); err == nil {
+		t.Error("order mismatch accepted")
+	}
+	small := randomSorted([]uint64{4, 5}, 10, 4)
+	if err := r.Apply(small); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// TestContractionEquivariance: contracting relabeled tensors and undoing
+// the output labels gives the original contraction result.
+func TestContractionEquivariance(t *testing.T) {
+	p, err := gen.FindPreset("Uber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate(p, 1200, 5)
+	wl := gen.Workload{Preset: p, Modes: 2}
+	cx, cy := wl.ContractModes()
+
+	want, _, err := core.Contract(x, x, cx, cy, core.Options{Algorithm: core.AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-contraction with matching contract-mode lists: one relabeling
+	// serves both sides consistently.
+	r := ByFrequency(x)
+	xr := x.Clone()
+	if err := r.Apply(xr); err != nil {
+		t.Fatal(err)
+	}
+	xr.Sort(1)
+	zr, _, err := core.Contract(xr, xr, cx, cy, core.Options{Algorithm: core.AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zOut := ForOutput(r, r, cx, cy)
+	if err := zOut.Undo(zr); err != nil {
+		t.Fatal(err)
+	}
+	zr.Sort(1)
+
+	if zr.NNZ() != want.NNZ() {
+		t.Fatalf("nnz %d vs %d", zr.NNZ(), want.NNZ())
+	}
+	for i := 0; i < zr.NNZ(); i++ {
+		for m := range zr.Inds {
+			if zr.Inds[m][i] != want.Inds[m][i] {
+				t.Fatalf("coordinate mismatch at %d", i)
+			}
+		}
+		if math.Abs(zr.Vals[i]-want.Vals[i]) > 1e-9 {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+}

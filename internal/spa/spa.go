@@ -1,0 +1,65 @@
+// Package spa implements the sparse accumulator (SPA) used by the baseline
+// SpTC-SPA algorithm (Algorithm 1 in the paper): a dynamic array of
+// (free-index tuple, value) pairs searched linearly, exactly the SpGEMM SPA
+// of Gilbert/Moler/Schreiber extended to arbitrary-order free-index tuples.
+//
+// Its O(|SPA|) lookup is the accumulation bottleneck Figure 2 attributes 54%
+// of SpTC time to; package hashtab's HtA replaces it in Sparta.
+package spa
+
+// SPA accumulates products keyed by the free-index tuple of Y. Tuples are
+// stored flat with a fixed stride to avoid per-entry allocations.
+type SPA struct {
+	stride int      // number of free modes in a key tuple (may be 0)
+	keys   []uint32 // len = stride * Len()
+	vals   []float64
+	// Compares counts key-element comparisons performed by Add, the
+	// quantity behind the O(2 * nnz_X * nnz_Y) term of Eq. 3.
+	Compares uint64
+}
+
+// New returns a SPA for key tuples of the given stride.
+func New(stride int) *SPA {
+	return &SPA{stride: stride}
+}
+
+// Len returns the number of distinct keys currently held.
+func (s *SPA) Len() int { return len(s.vals) }
+
+// Reset clears the accumulator for the next sub-tensor, keeping capacity.
+func (s *SPA) Reset() {
+	s.keys = s.keys[:0]
+	s.vals = s.vals[:0]
+}
+
+// Add accumulates v under the tuple key (len == stride): linear search, add
+// when present, append otherwise — Lines 7-10 of Algorithm 1.
+func (s *SPA) Add(key []uint32, v float64) {
+	n := len(s.vals)
+	st := s.stride
+search:
+	for i := 0; i < n; i++ {
+		base := i * st
+		for k := 0; k < st; k++ {
+			s.Compares++
+			if s.keys[base+k] != key[k] {
+				continue search
+			}
+		}
+		s.vals[i] += v
+		return
+	}
+	s.keys = append(s.keys, key...)
+	s.vals = append(s.vals, v)
+}
+
+// Entry returns the i-th (key tuple, value) pair in insertion order; the key
+// slice aliases internal storage and is valid until the next Reset.
+func (s *SPA) Entry(i int) ([]uint32, float64) {
+	return s.keys[i*s.stride : (i+1)*s.stride], s.vals[i]
+}
+
+// Bytes reports the current payload footprint, for memory accounting.
+func (s *SPA) Bytes() uint64 {
+	return uint64(len(s.keys))*4 + uint64(len(s.vals))*8
+}

@@ -1,0 +1,101 @@
+package spa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAccumulates(t *testing.T) {
+	s := New(2)
+	s.Add([]uint32{1, 2}, 1.5)
+	s.Add([]uint32{3, 4}, 2.0)
+	s.Add([]uint32{1, 2}, 0.5)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	k, v := s.Entry(0)
+	if k[0] != 1 || k[1] != 2 || v != 2.0 {
+		t.Fatalf("entry 0 = %v %v", k, v)
+	}
+	k, v = s.Entry(1)
+	if k[0] != 3 || k[1] != 4 || v != 2.0 {
+		t.Fatalf("entry 1 = %v %v", k, v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(1)
+	s.Add([]uint32{7}, 1)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	s.Add([]uint32{7}, 2)
+	if _, v := s.Entry(0); v != 2 {
+		t.Fatal("stale value after reset")
+	}
+}
+
+func TestZeroStride(t *testing.T) {
+	// Full contraction: every Add hits the single empty-tuple key.
+	s := New(0)
+	s.Add(nil, 1)
+	s.Add(nil, 2)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if _, v := s.Entry(0); v != 3 {
+		t.Fatalf("v = %v, want 3", v)
+	}
+}
+
+func TestComparesCounted(t *testing.T) {
+	s := New(1)
+	s.Add([]uint32{0}, 1)
+	before := s.Compares
+	s.Add([]uint32{0}, 1) // one entry, one comparison
+	if s.Compares != before+1 {
+		t.Fatalf("Compares delta = %d", s.Compares-before)
+	}
+}
+
+// Property: SPA total equals a map-based accumulation regardless of order.
+func TestQuickMatchesMap(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New(2)
+		ref := map[[2]uint32]float64{}
+		key := make([]uint32, 2)
+		for i := 0; i < n; i++ {
+			key[0], key[1] = uint32(rng.Intn(5)), uint32(rng.Intn(5))
+			v := rng.Float64()
+			s.Add(key, v)
+			ref[[2]uint32{key[0], key[1]}] += v
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			k, v := s.Entry(i)
+			want := ref[[2]uint32{k[0], k[1]}]
+			d := v - want
+			if d < -1e-12 || d > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := New(3)
+	s.Add([]uint32{1, 2, 3}, 1)
+	if s.Bytes() != 3*4+8 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}

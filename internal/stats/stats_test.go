@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("A", "Blong")
+	tab.Row("x", 1)
+	tab.Row("yy", 2.5)
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A ") || !strings.Contains(lines[0], "Blong") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "2.5") {
+		t.Fatalf("row %q", lines[3])
+	}
+	// Columns align: "Blong" starts at the same offset in every line.
+	off := strings.Index(lines[0], "Blong")
+	if strings.Index(lines[2], "1") < off {
+		t.Fatalf("misaligned: %q", lines[2])
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("A")
+	tab.Row("x", "extra", "more")
+	var b strings.Builder
+	tab.Render(&b) // must not panic
+	if !strings.Contains(b.String(), "more") {
+		t.Fatal("extra cells dropped")
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.5s",
+		1500 * time.Microsecond: "1.5ms",
+		900 * time.Nanosecond:   "900ns",
+		2 * time.Microsecond:    "2µs",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := FormatFloat(1.5); got != "1.5" {
+		t.Errorf("1.5 -> %q", got)
+	}
+	if got := FormatFloat(3.0); got != "3" {
+		t.Errorf("3.0 -> %q", got)
+	}
+	if got := FormatFloat(1e-9); got != "1e-09" {
+		t.Errorf("1e-9 -> %q", got)
+	}
+	if got := FormatFloat(0); got != "0" {
+		t.Errorf("0 -> %q", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.0GiB",
+	}
+	for b, want := range cases {
+		if got := FormatBytes(b); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("Speedup = %v", got)
+	}
+	if !math.IsInf(Speedup(time.Second, 0), 1) {
+		t.Fatal("zero denominator should be +Inf")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vals := []float64{1, 2, 4}
+	if m := Mean(vals); math.Abs(m-7.0/3) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if g := GeoMean(vals); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	lo, hi := MinMax(vals)
+	if lo != 1 || hi != 4 {
+		t.Fatalf("MinMax = %v %v", lo, hi)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive value should yield 0 geomean")
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax")
+	}
+}
