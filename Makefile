@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-json clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: full build, vet, and the race detector over
+# every package (the lock-free HtY build and open-addressed tables live or
+# die by this). The bench experiments run -short under race — at full tilt
+# they exceed the test timeout on small machines — while the hot packages
+# (hashtab, core), which have no short-mode skips, always race-run in full.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/hashtab ./internal/core
+
+# bench prints the chained-vs-flat hash-kernel duel without writing JSON.
+bench:
+	$(GO) run ./cmd/sptc-bench -exp kernels
+
+# bench-json regenerates the committed BENCH_1.json at the repo root
+# (scale 20000 so every cell's work dwarfs scheduling noise).
+bench-json:
+	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -json BENCH_1.json
+
+clean:
+	$(GO) clean ./...

@@ -5,8 +5,8 @@
 //	sptc-bench -exp fig4 -scale 20000   # larger synthetic datasets
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 table4
-// headline ablation all. See DESIGN.md §4 for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// headline ablation kernels all. See DESIGN.md §4 for the experiment index
+// and EXPERIMENTS.md for paper-vs-measured results.
 package main
 
 import (
@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"ablation", "design-choice ablations", bench.Ablation},
 	{"search", "Y index-search structure comparison (COO/CSF/HtY)", bench.SearchAblation},
 	{"duel", "stage-by-stage algorithm comparison on one workload", bench.Duel},
+	{"kernels", "hash-kernel duel: chained (seed) vs flat open addressing", runKernels},
 	{"twophase", "symbolic+numeric two-phase SpTC vs Sparta's dynamic allocation", bench.TwoPhase},
 	{"formats", "storage formats: COO vs CSF vs HiCOO footprint and scan", bench.Formats},
 	{"reorder", "frequency index reordering: block density and Sparta time", bench.Reorder},
@@ -55,6 +56,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "generator seed")
 		dramFrac = flag.Float64("dram", 0.6, "simulated DRAM budget as fraction of peak memory")
 	)
+	flag.StringVar(&kernelsJSON, "json", "", "for -exp kernels: also write the duel rows to this JSON file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac}
@@ -94,6 +96,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// kernelsJSON is the -json flag: when set, the kernels experiment also
+// persists its rows (this is how BENCH_1.json at the repo root is produced:
+// sptc-bench -exp kernels -json BENCH_1.json).
+var kernelsJSON string
+
+func runKernels(w io.Writer, cfg bench.Config) error {
+	return bench.KernelsJSON(w, cfg, kernelsJSON)
 }
 
 func runTable3(w io.Writer, cfg bench.Config) error {

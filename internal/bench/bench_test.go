@@ -65,6 +65,7 @@ func TestExperimentsRunEndToEnd(t *testing.T) {
 		"formats":  Formats,
 		"reorder":  Reorder,
 		"search":   SearchAblation,
+		"kernels":  Kernels,
 	}
 	for name, f := range exps {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"sparta/internal/core"
+	"sparta/internal/gen"
+	"sparta/internal/stats"
+)
+
+// kernelStageNS is one kernel's measured wall times (minimum over reps) and
+// output fingerprint for a workload config, serialized into BENCH_1.json.
+type kernelStageNS struct {
+	HtYBuildNS int64  `json:"htybuild_ns"`
+	SearchNS   int64  `json:"search_ns"`
+	AccumNS    int64  `json:"accum_ns"`
+	WriteNS    int64  `json:"write_ns"`
+	TotalNS    int64  `json:"total_ns"`
+	NNZZ       int    `json:"nnzz"`
+	Checksum   string `json:"checksum"`
+}
+
+// hotNS is the stage-①(HtY build)+②+③ sum the ISSUE's acceptance criterion
+// is stated over: the hash-kernel hot path, excluding X permute+sort (shared
+// by both kernels), writeback and output sort.
+func (k kernelStageNS) hotNS() int64 { return k.HtYBuildNS + k.SearchNS + k.AccumNS }
+
+// kernelDuelRow is one (workload, threads) cell of the chained-vs-flat duel.
+type kernelDuelRow struct {
+	Workload string        `json:"workload"`
+	Threads  int           `json:"threads"`
+	Chained  kernelStageNS `json:"chained"`
+	Flat     kernelStageNS `json:"flat"`
+	// SpeedupHot = chained/flat on the HtY-build+search+accum sum.
+	SpeedupHot float64 `json:"speedup_build_search_accum"`
+	// SpeedupTotal = chained/flat on end-to-end wall time.
+	SpeedupTotal float64 `json:"speedup_total"`
+	// Identical reports whether NNZZ and checksum matched between kernels.
+	Identical bool `json:"identical_output"`
+}
+
+// kernelDuelFile is the BENCH_1.json schema: the first point of the bench
+// trajectory (chained seed kernels vs flat kernels, per stage).
+type kernelDuelFile struct {
+	Bench   string          `json:"bench"`
+	Scale   int             `json:"scale"`
+	Seed    int64           `json:"seed"`
+	Reps    int             `json:"reps"`
+	Configs []kernelDuelRow `json:"configs"`
+}
+
+// kernelDuelReps is the repetition count per cell; each stage keeps its
+// minimum wall time across reps (standard min-of-N noise rejection).
+const kernelDuelReps = 3
+
+// runKernelCell contracts one workload with one kernel kernelDuelReps times
+// and returns the per-stage minima plus the output fingerprint.
+func runKernelCell(c Config, wl gen.Workload, k core.Kernel, threads int) (kernelStageNS, error) {
+	x := c.Tensor(wl.Preset)
+	cx, cy := wl.ContractModes()
+	var cell kernelStageNS
+	for rep := 0; rep < kernelDuelReps; rep++ {
+		z, r, err := core.Contract(x, x, cx, cy, core.Options{
+			Algorithm: core.AlgSparta,
+			Kernel:    k,
+			Threads:   threads,
+		})
+		if err != nil {
+			return cell, err
+		}
+		sum := 0.0
+		for _, v := range z.Vals {
+			sum += math.Abs(v)
+		}
+		m := kernelStageNS{
+			HtYBuildNS: int64(r.HtYBuild),
+			SearchNS:   int64(r.StageWall[core.StageSearch]),
+			AccumNS:    int64(r.StageWall[core.StageAccum]),
+			WriteNS:    int64(r.StageWall[core.StageWrite]),
+			TotalNS:    int64(r.Total()),
+			NNZZ:       r.NNZZ,
+			// 9 significant digits: enough to prove the kernels compute
+			// the same result, insensitive to accumulation-order ULPs.
+			Checksum: fmt.Sprintf("%.9e", sum),
+		}
+		if rep == 0 {
+			cell = m
+			continue
+		}
+		if m.NNZZ != cell.NNZZ || m.Checksum != cell.Checksum {
+			return cell, fmt.Errorf("kernel %v: unstable output across reps", k)
+		}
+		cell.HtYBuildNS = min64(cell.HtYBuildNS, m.HtYBuildNS)
+		cell.SearchNS = min64(cell.SearchNS, m.SearchNS)
+		cell.AccumNS = min64(cell.AccumNS, m.AccumNS)
+		cell.WriteNS = min64(cell.WriteNS, m.WriteNS)
+		cell.TotalNS = min64(cell.TotalNS, m.TotalNS)
+	}
+	return cell, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Kernels runs the chained-vs-flat hash-kernel duel: per workload and thread
+// count, both kernel families contract the same tensor, the per-stage walls
+// are compared, and output equality (NNZZ + checksum) is asserted. When
+// jsonPath is non-empty the rows are also written there (BENCH_1.json).
+func Kernels(w io.Writer, c Config) error { return KernelsJSON(w, c, "") }
+
+// KernelsJSON is Kernels with an optional JSON output path.
+func KernelsJSON(w io.Writer, c Config, jsonPath string) error {
+	// Shallow contractions (2-mode) keep the accumulator miss-heavy; deep
+	// ones (3-mode) are build- and hit-dominated — together they cover both
+	// ends of the hash-kernel hot path.
+	workloads := []gen.Workload{
+		{Preset: mustPreset("NIPS"), Modes: 2},
+		{Preset: mustPreset("Vast"), Modes: 2},
+		{Preset: mustPreset("NIPS"), Modes: 3},
+		{Preset: mustPreset("Uber"), Modes: 3},
+	}
+	threadSweep := []int{1, 4}
+	if c.Threads > 0 {
+		threadSweep = []int{c.Threads}
+	}
+	fmt.Fprintf(w, "Hash-kernel duel: chained (seed) vs flat open-addressing, %d reps/cell (min)\n", kernelDuelReps)
+	tab := stats.NewTable("Workload", "Threads", "Kernel", "HtYBuild", "Search", "Accum", "Write", "Total", "NNZZ", "Hot x")
+	file := kernelDuelFile{Bench: "kernels", Scale: c.Scale, Seed: c.Seed, Reps: kernelDuelReps}
+	for _, wl := range workloads {
+		for _, threads := range threadSweep {
+			chained, err := runKernelCell(c, wl, core.KernelChained, threads)
+			if err != nil {
+				return err
+			}
+			flat, err := runKernelCell(c, wl, core.KernelFlat, threads)
+			if err != nil {
+				return err
+			}
+			row := kernelDuelRow{
+				Workload:     wl.Name(),
+				Threads:      threads,
+				Chained:      chained,
+				Flat:         flat,
+				SpeedupHot:   float64(chained.hotNS()) / float64(flat.hotNS()),
+				SpeedupTotal: float64(chained.TotalNS) / float64(flat.TotalNS),
+				Identical:    chained.NNZZ == flat.NNZZ && chained.Checksum == flat.Checksum,
+			}
+			if !row.Identical {
+				return fmt.Errorf("kernels: %s threads=%d: outputs differ (nnz %d/%d, checksum %s/%s)",
+					wl.Name(), threads, chained.NNZZ, flat.NNZZ, chained.Checksum, flat.Checksum)
+			}
+			file.Configs = append(file.Configs, row)
+			tab.Row(wl.Name(), threads, "chained",
+				time.Duration(chained.HtYBuildNS), time.Duration(chained.SearchNS),
+				time.Duration(chained.AccumNS), time.Duration(chained.WriteNS),
+				time.Duration(chained.TotalNS), chained.NNZZ, "")
+			tab.Row(wl.Name(), threads, "flat",
+				time.Duration(flat.HtYBuildNS), time.Duration(flat.SearchNS),
+				time.Duration(flat.AccumNS), time.Duration(flat.WriteNS),
+				time.Duration(flat.TotalNS), flat.NNZZ, fmt.Sprintf("%.2fx", row.SpeedupHot))
+		}
+	}
+	tab.Render(w)
+	fmt.Fprintln(w, "Hot x = chained/flat speedup on the HtY-build + index-search + accumulation sum.")
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

@@ -121,8 +121,14 @@ func SearchAblation(w io.Writer, c Config) error {
 		items, _ := hty.Lookup(radC.EncodeStrided(cCols, i))
 		return items != nil
 	})
+	htyf := hashtab.BuildHtYFlat(y, cy, fmodes, radC, radF, 0, c.Threads)
+	run("HtYFlat probe (open addressing)", func(i int) bool {
+		items, _ := htyf.Lookup(radC.EncodeStrided(cCols, i))
+		return items != nil
+	})
 	tab.Render(w)
-	fmt.Fprintf(w, "footprints: COO %s, CSF %s, HtY %s\n",
-		stats.FormatBytes(ys.Bytes()), stats.FormatBytes(cs.Bytes()), stats.FormatBytes(hty.Bytes()))
+	fmt.Fprintf(w, "footprints: COO %s, CSF %s, HtY %s, HtYFlat %s\n",
+		stats.FormatBytes(ys.Bytes()), stats.FormatBytes(cs.Bytes()),
+		stats.FormatBytes(hty.Bytes()), stats.FormatBytes(htyf.Bytes()))
 	return nil
 }

@@ -40,11 +40,16 @@ type rangeMatch struct {
 	xv     float64
 }
 
-// worker is the per-thread state of the computation stages.
+// worker is the per-thread state of the computation stages. Exactly one of
+// hta/htaF is non-nil for the accumulating algorithms, selected by
+// Options.Kernel; the accumulation and flush loops branch once per
+// sub-tensor on that, keeping the per-product Add monomorphic (no interface
+// dispatch on the hottest call in the repo).
 type worker struct {
-	hta *hashtab.HtA
-	spa *spa.SPA
-	z   zlocalBuf
+	hta  *hashtab.HtA
+	htaF *hashtab.HtAFlat
+	spa  *spa.SPA
+	z    zlocalBuf
 
 	scratch  []match
 	scratchR []rangeMatch
@@ -68,7 +73,11 @@ func makeWorkers(threads int, p *plan, opt Options) []*worker {
 		w := &worker{keyBuf: make([]uint32, p.nfy)}
 		switch opt.Algorithm {
 		case AlgSparta, AlgCOOHtA:
-			w.hta = hashtab.NewHtA(hint)
+			if opt.Kernel == KernelChained {
+				w.hta = hashtab.NewHtA(hint)
+			} else {
+				w.htaF = hashtab.NewHtAFlat(hint)
+			}
 		case AlgSPA:
 			w.spa = spa.New(p.nfy)
 		}
@@ -80,7 +89,7 @@ func makeWorkers(threads int, p *plan, opt Options) []*worker {
 // subSparta processes X sub-tensor f with Algorithm 2: HtY probes for the
 // index search, HtA for accumulation, Zlocal flush for writeback. The three
 // phases are timed separately so Fig. 2-style breakdowns are exact.
-func (w *worker) subSparta(p *plan, xw *coo.Tensor, hty *hashtab.HtY, ptrFX []int, f int) {
+func (w *worker) subSparta(p *plan, xw *coo.Tensor, hty hashtab.YTable, ptrFX []int, f int) {
 	lo, hi := ptrFX[f], ptrFX[f+1]
 	cCols := xw.Inds[p.nfx:]
 
@@ -102,12 +111,22 @@ func (w *worker) subSparta(p *plan, xw *coo.Tensor, hty *hashtab.HtY, ptrFX []in
 
 	// ③ accumulation
 	t = time.Now()
-	for _, m := range w.scratch {
-		v := m.xv
-		for _, it := range m.items {
-			w.hta.Add(it.LNFree, it.Val*v)
+	if w.htaF != nil {
+		for _, m := range w.scratch {
+			v := m.xv
+			for _, it := range m.items {
+				w.htaF.Add(it.LNFree, it.Val*v)
+			}
+			w.products += uint64(len(m.items))
 		}
-		w.products += uint64(len(m.items))
+	} else {
+		for _, m := range w.scratch {
+			v := m.xv
+			for _, it := range m.items {
+				w.hta.Add(it.LNFree, it.Val*v)
+			}
+			w.products += uint64(len(m.items))
+		}
 	}
 	w.accumNS += int64(time.Since(t))
 
@@ -168,12 +187,22 @@ func (w *worker) subCOOHtA(p *plan, xw, yw *coo.Tensor, ptrFX, ptrCY []int, f in
 
 	t = time.Now()
 	fCols := yw.Inds[p.ncm:]
-	for _, m := range w.scratchR {
-		v := m.xv
-		for j := m.lo; j < m.hi; j++ {
-			w.hta.Add(p.radFY.EncodeStrided(fCols, j), yw.Vals[j]*v)
+	if w.htaF != nil {
+		for _, m := range w.scratchR {
+			v := m.xv
+			for j := m.lo; j < m.hi; j++ {
+				w.htaF.Add(p.radFY.EncodeStrided(fCols, j), yw.Vals[j]*v)
+			}
+			w.products += uint64(m.hi - m.lo)
 		}
-		w.products += uint64(m.hi - m.lo)
+	} else {
+		for _, m := range w.scratchR {
+			v := m.xv
+			for j := m.lo; j < m.hi; j++ {
+				w.hta.Add(p.radFY.EncodeStrided(fCols, j), yw.Vals[j]*v)
+			}
+			w.products += uint64(m.hi - m.lo)
+		}
 	}
 	w.accumNS += int64(time.Since(t))
 
@@ -225,15 +254,28 @@ func (w *worker) subSPA(p *plan, xw, yw *coo.Tensor, ptrFX, ptrCY []int, f int) 
 	w.writeNS += int64(time.Since(t))
 }
 
-// flushHtA appends the accumulator contents to Zlocal and resets it.
+// flushHtA appends the accumulator contents to Zlocal and resets it. Both
+// accumulator layouts expose the same insertion-order Keys/Vals arrays, so
+// the Zlocal writeback contract is identical.
 func (w *worker) flushHtA(f int) {
-	n := w.hta.Len()
+	var n int
+	var keys []uint64
+	var vals []float64
+	if w.htaF != nil {
+		n, keys, vals = w.htaF.Len(), w.htaF.Keys(), w.htaF.Vals()
+	} else {
+		n, keys, vals = w.hta.Len(), w.hta.Keys(), w.hta.Vals()
+	}
 	if n > 0 {
 		w.z.subs = append(w.z.subs, zsub{f: int32(f), n: int32(n)})
-		w.z.lns = append(w.z.lns, w.hta.Keys()...)
-		w.z.vals = append(w.z.vals, w.hta.Vals()...)
+		w.z.lns = append(w.z.lns, keys...)
+		w.z.vals = append(w.z.vals, vals...)
 	}
-	w.hta.Reset()
+	if w.htaF != nil {
+		w.htaF.Reset()
+	} else {
+		w.hta.Reset()
+	}
 }
 
 // flushSPA appends the SPA contents (LN-encoding each tuple once) and

@@ -25,16 +25,24 @@ type Options struct {
 	// InPlace lets the algorithm permute and sort the caller's tensors
 	// instead of cloning them, saving one copy of each input.
 	InPlace bool
-	// BucketsHtY overrides the HtY bucket count (0 = next power of two
-	// >= nnz_Y). Rounded up to a power of two.
+	// Kernel selects the hash-kernel layout family (KernelFlat, the
+	// default, or KernelChained — the seed implementation). Both produce
+	// identical outputs; the flat kernels are the measured-faster path
+	// (see BENCH_1.json and sptc-bench -exp kernels).
+	Kernel Kernel
+	// BucketsHtY overrides the HtY bucket/slot count (0 = kernel default:
+	// next power of two >= nnz_Y chained, >= 2*nnz_Y flat). Rounded up to
+	// a power of two; the flat kernel additionally clamps it above nnz_Y
+	// so its open-addressed probes terminate.
 	BucketsHtY int
 	// HtACapHint pre-sizes each thread's accumulator (0 = heuristic).
 	HtACapHint int
-	// TwoPassHtY selects the lock-free two-pass HtY construction instead
-	// of the default bucket-locked parallel build (AlgSparta only). The
-	// results are identical; the two-pass build avoids lock contention on
-	// tensors with few distinct contract keys at the cost of an extra
-	// pass over Y.
+	// TwoPassHtY selects the lock-free two-pass construction of the
+	// *chained* HtY instead of the bucket-locked parallel build
+	// (KernelChained only; the flat kernel is always two-pass and
+	// lock-free). The results are identical; the two-pass build avoids
+	// lock contention on tensors with few distinct contract keys at the
+	// cost of an extra pass over Y.
 	TwoPassHtY bool
 	// MaxOutputNNZ aborts the contraction with an error when the output
 	// would exceed this many non-zeros (0 = unlimited). SpTC outputs can
@@ -58,12 +66,18 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	default:
 		return nil, nil, errBadAlgorithm(opt.Algorithm)
 	}
+	switch opt.Kernel {
+	case KernelFlat, KernelChained:
+	default:
+		return nil, nil, errBadKernel(opt.Kernel)
+	}
 	threads := opt.Threads
 	if threads < 1 {
 		threads = parallel.DefaultThreads()
 	}
 	rep := &Report{
 		Algorithm: opt.Algorithm,
+		Kernel:    opt.Kernel,
 		Threads:   threads,
 		NNZX:      x.NNZ(),
 		NNZY:      y.NNZ(),
@@ -94,22 +108,11 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	rep.MaxSubNNZX = coo.MaxSubNNZ(ptrFX)
 	rep.BytesX = xw.Bytes()
 
-	var hty *hashtab.HtY
+	var hty hashtab.YTable
 	var yw *coo.Tensor
 	var ptrCY []int
 	if opt.Algorithm == AlgSparta {
-		buckets := opt.BucketsHtY
-		build := hashtab.BuildHtY
-		if opt.TwoPassHtY {
-			build = hashtab.BuildHtY2P
-		}
-		hty = build(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, buckets, threads)
-		rep.BytesY = p.y.Bytes()
-		rep.BytesHtY = hty.Bytes()
-		rep.BucketsHtY = hty.NumBuckets()
-		rep.DistinctKeysY = hty.NKeys
-		rep.MaxSubNNZY = hty.MaxItems
-		rep.EstBytesHtY = hashtab.EstimateHtYBytes(p.y.NNZ(), p.y.Order(), hty.NumBuckets())
+		hty = buildYTable(p, opt, threads, rep)
 	} else {
 		yw = p.y
 		if !opt.InPlace {
@@ -129,14 +132,11 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
 
-	// ②③④ Computation ----------------------------------------------------
+	// ②③④ Computation; chunk < 1 defers the chunk size to ForChunked's
+	// own heuristic (the single source of truth for chunking). -----------
 	ws := makeWorkers(threads, p, opt)
 	nf := rep.NF
-	chunk := nf / (threads * 16)
-	if chunk < 1 {
-		chunk = 1
-	}
-	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
+	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
 		w := ws[tid]
 		for f := lo; f < hi; f++ {
 			switch opt.Algorithm {
@@ -173,7 +173,7 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	rep.BytesZ = z.Bytes()
 	if p.nfy > 0 {
 		rep.EstBytesHtAPerTh = hashtab.EstimateHtABytes(
-			nextPow2(rep.MaxSubNNZY), rep.MaxSubNNZX, rep.MaxSubNNZY, p.nfy)
+			hashtab.NextPow2(rep.MaxSubNNZY), rep.MaxSubNNZX, rep.MaxSubNNZY, p.nfy)
 	}
 
 	// ⑤ Output sorting ----------------------------------------------------
@@ -193,12 +193,36 @@ func (e errBadAlgorithm) Error() string {
 	return "core: unknown algorithm " + Algorithm(e).String()
 }
 
-func nextPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
+// errBadKernel mirrors errBadAlgorithm for the kernel selector.
+type errBadKernel Kernel
+
+func (e errBadKernel) Error() string {
+	return "core: unknown kernel " + Kernel(e).String()
+}
+
+// buildYTable runs the selected COO→HtY conversion kernel and records the
+// table stats plus the build-only wall time (rep.HtYBuild) so kernel duels
+// compare exactly the hash-table work, not X's permute+sort.
+func buildYTable(p *plan, opt Options, threads int, rep *Report) hashtab.YTable {
+	t0 := time.Now()
+	var hty hashtab.YTable
+	if opt.Kernel == KernelChained {
+		build := hashtab.BuildHtY
+		if opt.TwoPassHtY {
+			build = hashtab.BuildHtY2P
+		}
+		hty = build(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, opt.BucketsHtY, threads)
+	} else {
+		hty = hashtab.BuildHtYFlat(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, opt.BucketsHtY, threads)
 	}
-	return p
+	rep.HtYBuild = time.Since(t0)
+	rep.BytesY = p.y.Bytes()
+	rep.BytesHtY = hty.Bytes()
+	rep.BucketsHtY = hty.NumBuckets()
+	rep.DistinctKeysY = hty.NumKeys()
+	rep.MaxSubNNZY = hty.MaxItemLen()
+	rep.EstBytesHtY = hashtab.EstimateHtYBytes(p.y.NNZ(), p.y.Order(), hty.NumBuckets())
+	return hty
 }
 
 // gather allocates Z exactly (the sum of all Zlocal sizes is known — the
@@ -271,6 +295,16 @@ func mergeWorkerStats(rep *Report, ws []*worker) {
 			rep.AccumHits += w.hta.Hits
 			rep.AccumMiss += w.hta.Misses
 			b := w.hta.Bytes()
+			rep.BytesHtA += b
+			if b > rep.BytesHtAPerThr {
+				rep.BytesHtAPerThr = b
+			}
+		}
+		if w.htaF != nil {
+			rep.ProbesHtA += w.htaF.Probes
+			rep.AccumHits += w.htaF.Hits
+			rep.AccumMiss += w.htaF.Misses
+			b := w.htaF.Bytes()
 			rep.BytesHtA += b
 			if b > rep.BytesHtAPerThr {
 				rep.BytesHtAPerThr = b

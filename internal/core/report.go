@@ -43,6 +43,36 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Kernel selects the hash-kernel layout family used by the HtY-probing
+// algorithms (AlgSparta, AlgTwoPhase) and the HtA-accumulating ones
+// (AlgSparta, AlgCOOHtA, AlgTwoPhase). The zero value is the flat family —
+// the measured-faster default; the chained family is the seed implementation,
+// kept selectable for A/B duels (sptc-bench -exp kernels).
+type Kernel int
+
+const (
+	// KernelFlat uses the open-addressed flat kernels: HtYFlat (lock-free
+	// two-pass build, CSR item arena, linear-probe key table) and HtAFlat
+	// (inline key slots, no chain nodes).
+	KernelFlat Kernel = 0
+	// KernelChained uses the seed kernels: bucket-locked chained HtY
+	// (or the two-pass chained build when Options.TwoPassHtY is set) and
+	// the index-chained HtA.
+	KernelChained Kernel = 1
+)
+
+// String names the kernel family.
+func (k Kernel) String() string {
+	switch k {
+	case KernelFlat:
+		return "flat"
+	case KernelChained:
+		return "chained"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
 // Stage identifies one of the five SpTC stages (§3.1).
 type Stage int
 
@@ -79,7 +109,13 @@ func (s Stage) String() string {
 // heterogeneous-memory planner places (Table 2).
 type Report struct {
 	Algorithm Algorithm
+	Kernel    Kernel // hash-kernel family the run used (AlgSparta/AlgTwoPhase/AlgCOOHtA)
 	Threads   int
+
+	// HtYBuild is the COO→HtY conversion wall time, separated from the
+	// rest of StageInput (X permute+sort) so kernel duels compare exactly
+	// the hash-table work.
+	HtYBuild time.Duration
 
 	// StageWall approximates the wall-clock time of each stage. For the
 	// three computation stages, which interleave inside the parallel

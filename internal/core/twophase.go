@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"sparta/internal/coo"
-	"sparta/internal/hashtab"
 	"sparta/internal/parallel"
 )
 
@@ -46,50 +45,44 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	rep.MaxSubNNZX = coo.MaxSubNNZ(ptrFX)
 	rep.BytesX = xw.Bytes()
 
-	build := hashtab.BuildHtY
-	if opt.TwoPassHtY {
-		build = hashtab.BuildHtY2P
-	}
-	hty := build(p.y, p.cmodesY, p.fmodesY, p.radC, p.radFY, opt.BucketsHtY, threads)
-	rep.BytesY = p.y.Bytes()
-	rep.BytesHtY = hty.Bytes()
-	rep.BucketsHtY = hty.NumBuckets()
-	rep.DistinctKeysY = hty.NKeys
-	rep.MaxSubNNZY = hty.MaxItems
-	rep.EstBytesHtY = hashtab.EstimateHtYBytes(p.y.NNZ(), p.y.Order(), hty.NumBuckets())
+	hty := buildYTable(p, opt, threads, rep)
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
 
+	// chunk < 1 defers the chunk size to ForChunked's own heuristic.
 	nf := rep.NF
-	chunk := nf / (threads * 16)
-	if chunk < 1 {
-		chunk = 1
-	}
 	cCols := xw.Inds[p.nfx:]
 
 	// --- Symbolic phase: count exact output non-zeros per sub-tensor ----
+	// The symbolic accumulators follow the kernel selector like the
+	// numeric ones (makeWorkers); symWorkers reuses that switch.
 	t0 = time.Now()
 	counts := make([]int, nf)
-	symWorkers := make([]*hashtab.HtA, threads)
-	for i := range symWorkers {
-		hint := opt.HtACapHint
-		if hint <= 0 {
-			hint = 1024
-		}
-		symWorkers[i] = hashtab.NewHtA(hint)
-	}
-	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
-		hta := symWorkers[tid]
+	symWorkers := makeWorkers(threads, p, Options{
+		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
+	})
+	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+		w := symWorkers[tid]
 		for f := lo; f < hi; f++ {
-			for i := ptrFX[f]; i < ptrFX[f+1]; i++ {
-				key := p.radC.EncodeStrided(cCols, i)
-				items, _ := hty.Lookup(key)
-				for _, it := range items {
-					hta.Add(it.LNFree, 0) // structure only; values ignored
+			if w.htaF != nil {
+				for i := ptrFX[f]; i < ptrFX[f+1]; i++ {
+					items, _ := hty.Lookup(p.radC.EncodeStrided(cCols, i))
+					for _, it := range items {
+						w.htaF.Add(it.LNFree, 0) // structure only; values ignored
+					}
 				}
+				counts[f] = w.htaF.Len()
+				w.htaF.Reset()
+			} else {
+				for i := ptrFX[f]; i < ptrFX[f+1]; i++ {
+					items, _ := hty.Lookup(p.radC.EncodeStrided(cCols, i))
+					for _, it := range items {
+						w.hta.Add(it.LNFree, 0)
+					}
+				}
+				counts[f] = w.hta.Len()
+				w.hta.Reset()
 			}
-			counts[f] = hta.Len()
-			hta.Reset()
 		}
 	})
 	rep.Symbolic = time.Since(t0)
@@ -109,8 +102,10 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	z.Vals = make([]float64, total)
 
 	// --- Numeric phase: recompute with values, write straight into Z ----
-	ws := makeWorkers(threads, p, Options{Algorithm: AlgSparta, HtACapHint: opt.HtACapHint})
-	parallel.ForChunked(threads, nf, chunk, func(tid, lo, hi int) {
+	ws := makeWorkers(threads, p, Options{
+		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
+	})
+	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
 		w := ws[tid]
 		buf := make([]uint32, p.nfy)
 		for f := lo; f < hi; f++ {
@@ -132,12 +127,22 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 
 			// ③ accumulation
 			t = time.Now()
-			for _, m := range w.scratch {
-				v := m.xv
-				for _, it := range m.items {
-					w.hta.Add(it.LNFree, it.Val*v)
+			if w.htaF != nil {
+				for _, m := range w.scratch {
+					v := m.xv
+					for _, it := range m.items {
+						w.htaF.Add(it.LNFree, it.Val*v)
+					}
+					w.products += uint64(len(m.items))
 				}
-				w.products += uint64(len(m.items))
+			} else {
+				for _, m := range w.scratch {
+					v := m.xv
+					for _, it := range m.items {
+						w.hta.Add(it.LNFree, it.Val*v)
+					}
+					w.products += uint64(len(m.items))
+				}
 			}
 			w.accumNS += int64(time.Since(t))
 
@@ -146,7 +151,13 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 			t = time.Now()
 			pos := zoff[f]
 			xAt := ptrFX[f]
-			keys, vals := w.hta.Keys(), w.hta.Vals()
+			var keys []uint64
+			var vals []float64
+			if w.htaF != nil {
+				keys, vals = w.htaF.Keys(), w.htaF.Vals()
+			} else {
+				keys, vals = w.hta.Keys(), w.hta.Vals()
+			}
 			for k := range keys {
 				for m := 0; m < p.nfx; m++ {
 					z.Inds[m][pos] = xw.Inds[m][xAt]
@@ -158,13 +169,22 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 				z.Vals[pos] = vals[k]
 				pos++
 			}
-			w.hta.Reset()
+			if w.htaF != nil {
+				w.htaF.Reset()
+			} else {
+				w.hta.Reset()
+			}
 			w.writeNS += int64(time.Since(t))
 		}
 	})
 	mergeWorkerStats(rep, ws)
 	for _, sw := range symWorkers {
-		b := sw.Bytes()
+		var b uint64
+		if sw.htaF != nil {
+			b = sw.htaF.Bytes()
+		} else {
+			b = sw.hta.Bytes()
+		}
 		rep.BytesHtA += b
 		if b > rep.BytesHtAPerThr {
 			rep.BytesHtAPerThr = b

@@ -1,0 +1,126 @@
+package hashtab
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+)
+
+// benchY builds a 4-order random tensor shaped like the NIPS 2-mode
+// contraction workloads: ~nnz/8 distinct contract keys, so item lists
+// average 8 and bucket locks see real contention.
+func benchY(nnz int) (*coo.Tensor, *lnum.Radix, *lnum.Radix) {
+	dims := []uint64{64, 64, 128, 128}
+	rng := rand.New(rand.NewSource(1))
+	y := coo.MustNew(dims, nnz)
+	idx := make([]uint32, 4)
+	for i := 0; i < nnz; i++ {
+		ck := rng.Intn(nnz / 8)
+		idx[0] = uint32(ck % 64)
+		idx[1] = uint32(ck / 64 % 64)
+		idx[2] = uint32(rng.Intn(128))
+		idx[3] = uint32(rng.Intn(128))
+		y.Append(idx, rng.Float64())
+	}
+	return y, lnum.MustRadix(dims[:2]), lnum.MustRadix(dims[2:])
+}
+
+// BenchmarkHtYBuild compares the three COO→HtY conversion strategies —
+// bucket-locked chained, two-pass chained, and the flat lock-free arena —
+// across thread counts.
+func BenchmarkHtYBuild(b *testing.B) {
+	y, radC, radF := benchY(1 << 16)
+	builds := []struct {
+		name string
+		run  func(threads int)
+	}{
+		{"locked", func(th int) { BuildHtY(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, th) }},
+		{"twopass", func(th int) { BuildHtY2P(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, th) }},
+		{"flat", func(th int) { BuildHtYFlat(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, th) }},
+	}
+	for _, bd := range builds {
+		for _, threads := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", bd.name, threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bd.run(threads)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHtYLookup compares the probe paths on the same key stream: the
+// chained bucket walk vs the flat linear probe.
+func BenchmarkHtYLookup(b *testing.B) {
+	y, radC, radF := benchY(1 << 16)
+	chained := BuildHtY(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, 0)
+	flat := BuildHtYFlat(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, 0)
+	keys := make([]uint64, 1<<14)
+	rng := rand.New(rand.NewSource(2))
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1 << 13)) // half hits, half misses
+	}
+	b.Run("chained", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				chained.Lookup(k)
+			}
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				flat.Lookup(k)
+			}
+		}
+	})
+}
+
+// addKeyStreams builds the two accumulation regimes of §3.4: hit-heavy
+// (few distinct keys, mostly accumulate) and miss-heavy (mostly fresh
+// inserts, the growth-pressure case).
+func addKeyStreams(n int) (hitHeavy, missHeavy []uint64) {
+	rng := rand.New(rand.NewSource(3))
+	hitHeavy = make([]uint64, n)
+	missHeavy = make([]uint64, n)
+	for i := range hitHeavy {
+		hitHeavy[i] = uint64(rng.Intn(n / 64))
+		missHeavy[i] = uint64(rng.Intn(4 * n))
+	}
+	return
+}
+
+// BenchmarkHtAAdd compares the chained and open-addressed accumulators on
+// hit-heavy and miss-heavy key streams, with the per-sub-tensor Reset
+// included (it is part of the real per-sub-tensor cost).
+func BenchmarkHtAAdd(b *testing.B) {
+	const n = 1 << 16
+	hitHeavy, missHeavy := addKeyStreams(n)
+	streams := []struct {
+		name string
+		keys []uint64
+	}{{"hit-heavy", hitHeavy}, {"miss-heavy", missHeavy}}
+	for _, st := range streams {
+		b.Run("chained/"+st.name, func(b *testing.B) {
+			h := NewHtA(1024)
+			for i := 0; i < b.N; i++ {
+				for _, k := range st.keys {
+					h.Add(k, 1)
+				}
+				h.Reset()
+			}
+		})
+		b.Run("flat/"+st.name, func(b *testing.B) {
+			h := NewHtAFlat(1024)
+			for i := 0; i < b.N; i++ {
+				for _, k := range st.keys {
+					h.Add(k, 1)
+				}
+				h.Reset()
+			}
+		})
+	}
+}

@@ -19,9 +19,9 @@ import (
 func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) *HtY {
 	n := y.NNZ()
 	if buckets <= 0 {
-		buckets = nextPow2(n)
+		buckets = NextPow2(n)
 	} else {
-		buckets = nextPow2(buckets)
+		buckets = NextPow2(buckets)
 	}
 	h := &HtY{
 		buckets: make([]ytBucket, buckets),

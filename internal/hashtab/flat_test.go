@@ -1,0 +1,258 @@
+package hashtab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+)
+
+// TestBuildHtYFlatMatchesLocked: the flat build must produce a table
+// equivalent to the chained one (same keys, same item multisets, same
+// stats) under both the YTable interface and its own accessors.
+func TestBuildHtYFlatMatchesLocked(t *testing.T) {
+	dims := []uint64{6, 7, 8, 9}
+	rng := rand.New(rand.NewSource(9))
+	y := coo.MustNew(dims, 0)
+	idx := make([]uint32, 4)
+	for i := 0; i < 3000; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		y.Append(idx, rng.Float64())
+	}
+	radC := lnum.MustRadix(dims[:2])
+	radF := lnum.MustRadix(dims[2:])
+	for _, threads := range []int{1, 4} {
+		a := BuildHtY(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, threads)
+		b := BuildHtYFlat(y, []int{0, 1}, []int{2, 3}, radC, radF, 0, threads)
+		if a.NKeys != b.NumKeys() || a.NItems != b.NumItems() || a.MaxItems != b.MaxItemLen() {
+			t.Fatalf("threads=%d: stats differ: %d/%d/%d vs %d/%d/%d", threads,
+				a.NKeys, a.NItems, a.MaxItems, b.NumKeys(), b.NumItems(), b.MaxItemLen())
+		}
+		for ck := uint64(0); ck < radC.Card(); ck++ {
+			ia, _ := a.Lookup(ck)
+			ib, _ := b.Lookup(ck)
+			if (ia == nil) != (ib == nil) {
+				t.Fatalf("threads=%d key %d: presence differs", threads, ck)
+			}
+			if ia == nil {
+				continue
+			}
+			sum := map[uint64]float64{}
+			for _, it := range ia {
+				sum[it.LNFree] += it.Val
+			}
+			for _, it := range ib {
+				sum[it.LNFree] -= it.Val
+			}
+			for fk, v := range sum {
+				if v < -1e-12 || v > 1e-12 {
+					t.Fatalf("threads=%d key %d free %d: item mismatch %v", threads, ck, fk, v)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildHtYFlatDeterministic: unlike the lock-order-dependent chained
+// build, the flat arena must come out bit-identical for any thread count —
+// items of one key stay in original Y order.
+func TestBuildHtYFlatDeterministic(t *testing.T) {
+	dims := []uint64{3, 4, 50}
+	rng := rand.New(rand.NewSource(11))
+	y := coo.MustNew(dims, 0)
+	idx := make([]uint32, 3)
+	for i := 0; i < 2000; i++ {
+		for m, d := range dims {
+			idx[m] = uint32(rng.Intn(int(d)))
+		}
+		y.Append(idx, rng.NormFloat64())
+	}
+	radC := lnum.MustRadix(dims[:2])
+	radF := lnum.MustRadix(dims[2:])
+	ref := BuildHtYFlat(y, []int{0, 1}, []int{2}, radC, radF, 0, 1)
+	for _, threads := range []int{2, 5, 8} {
+		h := BuildHtYFlat(y, []int{0, 1}, []int{2}, radC, radF, 0, threads)
+		for ck := uint64(0); ck < radC.Card(); ck++ {
+			ia, _ := ref.Lookup(ck)
+			ib, _ := h.Lookup(ck)
+			if len(ia) != len(ib) {
+				t.Fatalf("threads=%d key %d: %d vs %d items", threads, ck, len(ia), len(ib))
+			}
+			for j := range ia {
+				if ia[j] != ib[j] {
+					t.Fatalf("threads=%d key %d item %d: order differs: %v vs %v",
+						threads, ck, j, ia[j], ib[j])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildHtYFlatEmptyAndSkewed(t *testing.T) {
+	dims := []uint64{4, 5}
+	radC := lnum.MustRadix(dims[:1])
+	radF := lnum.MustRadix(dims[1:])
+	empty := coo.MustNew(dims, 0)
+	h := BuildHtYFlat(empty, []int{0}, []int{1}, radC, radF, 0, 2)
+	if h.NumKeys() != 0 || h.NumItems() != 0 {
+		t.Fatal("empty build broken")
+	}
+	if items, _ := h.Lookup(3); items != nil {
+		t.Fatal("empty table returned items")
+	}
+	// All non-zeros under one contract key (maximum CAS contention).
+	y := coo.MustNew(dims, 0)
+	for j := uint32(0); j < 5; j++ {
+		y.Append([]uint32{2, j}, float64(j))
+	}
+	h = BuildHtYFlat(y, []int{0}, []int{1}, radC, radF, 4, 3)
+	if h.NumKeys() != 1 || h.MaxItemLen() != 5 {
+		t.Fatalf("skewed build: keys=%d max=%d", h.NumKeys(), h.MaxItemLen())
+	}
+	items, _ := h.Lookup(2)
+	if len(items) != 5 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for j, it := range items {
+		if it.LNFree != uint64(j) || it.Val != float64(j) {
+			t.Fatalf("item %d out of order: %v", j, it)
+		}
+	}
+}
+
+// TestBuildHtYFlatBucketClamp: explicit bucket counts below nnz_Y must be
+// clamped so the open-addressed table keeps a free slot.
+func TestBuildHtYFlatBucketClamp(t *testing.T) {
+	dims := []uint64{64, 3}
+	radC := lnum.MustRadix(dims[:1])
+	radF := lnum.MustRadix(dims[1:])
+	y := coo.MustNew(dims, 0)
+	for i := uint32(0); i < 64; i++ {
+		y.Append([]uint32{i, 0}, 1) // 64 distinct contract keys
+	}
+	h := BuildHtYFlat(y, []int{0}, []int{1}, radC, radF, 8, 2)
+	if h.NumBuckets() <= 64 {
+		t.Fatalf("buckets = %d, want > nnz", h.NumBuckets())
+	}
+	if h.NumKeys() != 64 {
+		t.Fatalf("keys = %d", h.NumKeys())
+	}
+	// Every key resolvable, misses terminate.
+	for i := uint64(0); i < 64; i++ {
+		if items, _ := h.Lookup(i); len(items) != 1 {
+			t.Fatalf("key %d: %d items", i, len(items))
+		}
+	}
+}
+
+func TestHtAFlatAccumulates(t *testing.T) {
+	h := NewHtAFlat(4)
+	h.Add(10, 1)
+	h.Add(20, 2)
+	h.Add(10, 3)
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	k, v := h.Entry(0)
+	if k != 10 || v != 4 {
+		t.Fatalf("entry 0 = %d %v", k, v)
+	}
+	if h.Hits != 1 || h.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d", h.Hits, h.Misses)
+	}
+}
+
+func TestHtAFlatGrowthAndOrder(t *testing.T) {
+	h := NewHtAFlat(16)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Add(uint64(i*2654435761), float64(i))
+	}
+	if h.Len() != n {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for i := 0; i < n; i++ {
+		h.Add(uint64(i*2654435761), 0)
+	}
+	if h.Len() != n || h.Misses != n || h.Hits != n {
+		t.Fatalf("len=%d hits=%d misses=%d", h.Len(), h.Hits, h.Misses)
+	}
+	for i := 0; i < n; i++ {
+		if k, _ := h.Entry(i); k != uint64(i*2654435761) {
+			t.Fatalf("insertion order broken at %d", i)
+		}
+	}
+}
+
+func TestHtAFlatResetSparseAndDense(t *testing.T) {
+	h := NewHtAFlat(4)
+	// Dense fill, dense reset.
+	for i := 0; i < 200; i++ {
+		h.Add(uint64(i), 1)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	// Sparse fill (< slots/8), sparse reset path.
+	for i := 0; i < 3; i++ {
+		h.Add(uint64(1000+i), float64(i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("sparse reset did not clear")
+	}
+	h.Add(7, 5)
+	if k, v := h.Entry(0); k != 7 || v != 5 {
+		t.Fatal("stale state after reset")
+	}
+	// No stale slots survive: every old key must read as a fresh miss
+	// (key 7 was just re-added above, so 200 distinct keys in total).
+	for i := 0; i < 200; i++ {
+		h.Add(uint64(i), 1)
+	}
+	if h.Len() != 200 {
+		t.Fatalf("stale slots: len=%d", h.Len())
+	}
+}
+
+// Property: HtAFlat equals a map accumulation (and the chained HtA) for
+// arbitrary insert sequences with resets interleaved.
+func TestQuickHtAFlatMatchesMap(t *testing.T) {
+	f := func(seed int64, raw uint8) bool {
+		n := int(raw)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHtAFlat(2)
+		c := NewHtA(2)
+		ref := map[uint64]float64{}
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Intn(40))
+			v := rng.NormFloat64()
+			h.Add(k, v)
+			c.Add(k, v)
+			ref[k] += v
+		}
+		if h.Len() != len(ref) || h.Len() != c.Len() {
+			return false
+		}
+		for i := 0; i < h.Len(); i++ {
+			k, v := h.Entry(i)
+			ck, cv := c.Entry(i)
+			if k != ck || v != cv { // identical insertion order and sums
+				return false
+			}
+			d := v - ref[k]
+			if d < -1e-9 || d > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,7 +31,7 @@ func NewHtA(capHint int) *HtA {
 	if capHint < 16 {
 		capHint = 16
 	}
-	nb := nextPow2(capHint)
+	nb := NextPow2(capHint)
 	h := &HtA{
 		heads: make([]int32, nb),
 		mask:  uint64(nb - 1),

@@ -1,0 +1,141 @@
+package hashtab
+
+// HtAFlat is the open-addressed variant of the sparse accumulator HtA
+// (§3.4): same thread-private usage, same insertion-order keys/vals arrays
+// (so the Zlocal flush contract in package core is unchanged), but the
+// chained heads/next arrays are replaced by a flat linear-probe slot table
+// with the key inline. An Add is one probe sequence over a contiguous
+// slot slice — no chain-node indirection — kept below load factor 1/2.
+//
+// Each slot interleaves the key and its entry index in one 16-byte record,
+// so a probe (and the hit that follows it) touches a single cache line
+// instead of two parallel arrays.
+//
+// Keys must not be ^uint64(0) (the free-slot sentinel); LN keys never are,
+// because they are strictly below their radix cardinality.
+type htaSlot struct {
+	key uint64 // emptySlot when free
+	idx int32  // entry index in keys/vals when claimed
+}
+
+type HtAFlat struct {
+	table []htaSlot
+	mask  uint64
+
+	keys  []uint64
+	vals  []float64
+	slots []int32 // entry -> its slot, for O(entries) sparse Reset
+
+	// Hits and Misses count Add outcomes (accumulate vs insert); their sum
+	// is the number of products, the 2*nnz_X*nnz_Favg term of Eq. 4.
+	Hits   uint64
+	Misses uint64
+	// Probes counts slot inspections, the random-read measure for the
+	// accumulation access profile (comparable to HtA's chain probes).
+	Probes uint64
+}
+
+// NewHtAFlat returns an accumulator sized for about capHint distinct keys.
+func NewHtAFlat(capHint int) *HtAFlat {
+	if capHint < 16 {
+		capHint = 16
+	}
+	nb := NextPow2(2 * capHint)
+	h := &HtAFlat{
+		table: make([]htaSlot, nb),
+		mask:  uint64(nb - 1),
+		keys:  make([]uint64, 0, capHint),
+		vals:  make([]float64, 0, capHint),
+		slots: make([]int32, 0, capHint),
+	}
+	for i := range h.table {
+		h.table[i].key = emptySlot
+	}
+	return h
+}
+
+// Len returns the number of distinct keys accumulated.
+func (h *HtAFlat) Len() int { return len(h.keys) }
+
+// Reset clears the accumulator for the next sub-tensor, keeping capacity
+// (counter state is cumulative per thread). Sparsely used tables free only
+// the touched slots — each entry remembers its slot, so the sparse path is
+// a direct O(entries) scatter with no re-probing.
+func (h *HtAFlat) Reset() {
+	if len(h.keys) < len(h.table)/8 {
+		for _, s := range h.slots {
+			h.table[s].key = emptySlot
+		}
+	} else {
+		for i := range h.table {
+			h.table[i].key = emptySlot
+		}
+	}
+	h.keys = h.keys[:0]
+	h.vals = h.vals[:0]
+	h.slots = h.slots[:0]
+}
+
+// Add accumulates v under key: Lines 12-15 of Algorithm 2. Probes are
+// derived from the probe displacement after the loop, keeping the loop body
+// to one slot load and two compares.
+func (h *HtAFlat) Add(key uint64, v float64) {
+	s0 := hashKey(key) & h.mask
+	s := s0
+	for {
+		k := h.table[s].key
+		if k == key {
+			h.Probes += ((s - s0) & h.mask) + 1
+			h.vals[h.table[s].idx] += v
+			h.Hits++
+			return
+		}
+		if k == emptySlot {
+			break
+		}
+		s = (s + 1) & h.mask
+	}
+	h.Probes += ((s - s0) & h.mask) + 1
+	h.Misses++
+	h.table[s] = htaSlot{key: key, idx: int32(len(h.keys))}
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	h.slots = append(h.slots, int32(s))
+	if 2*len(h.keys) > len(h.table) {
+		h.grow()
+	}
+}
+
+// grow doubles the slot table and re-probes every entry; entry storage and
+// insertion order are untouched.
+func (h *HtAFlat) grow() {
+	nb := len(h.table) * 2
+	h.table = make([]htaSlot, nb)
+	h.mask = uint64(nb - 1)
+	for i := range h.table {
+		h.table[i].key = emptySlot
+	}
+	for e, key := range h.keys {
+		s := hashKey(key) & h.mask
+		for h.table[s].key != emptySlot {
+			s = (s + 1) & h.mask
+		}
+		h.table[s] = htaSlot{key: key, idx: int32(e)}
+		h.slots[e] = int32(s)
+	}
+}
+
+// Entry returns the i-th (key, value) pair in insertion order.
+func (h *HtAFlat) Entry(i int) (uint64, float64) { return h.keys[i], h.vals[i] }
+
+// Keys exposes the key array in insertion order (read-only view).
+func (h *HtAFlat) Keys() []uint64 { return h.keys }
+
+// Vals exposes the value array in insertion order (read-only view).
+func (h *HtAFlat) Vals() []float64 { return h.vals }
+
+// Bytes reports the current memory footprint of the accumulator.
+func (h *HtAFlat) Bytes() uint64 {
+	return uint64(len(h.table))*16 +
+		uint64(cap(h.keys))*8 + uint64(cap(h.vals))*8 + uint64(cap(h.slots))*4
+}

@@ -56,13 +56,35 @@ func hashKey(k uint64) uint64 {
 	return k
 }
 
-// nextPow2 returns the smallest power of two >= n (min 1).
-func nextPow2(n int) int {
+// NextPow2 returns the smallest power of two >= n (min 1). It is the single
+// source of truth for every power-of-two table sizing in the repo (HtY
+// buckets, HtA slots, Eq. 6 estimates in package core).
+func NextPow2(n int) int {
 	p := 1
 	for p < n {
 		p <<= 1
 	}
 	return p
+}
+
+// YTable is the read side shared by the two HtY layouts: the chained HtY
+// (seed kernel) and the flat open-addressed HtYFlat. Stage ② only ever
+// probes, so the computation stages are layout-agnostic behind this
+// interface; construction stays concrete per layout.
+type YTable interface {
+	// Lookup returns the item list for an LN contract key (nil on miss)
+	// and the number of probes performed.
+	Lookup(key uint64) ([]YItem, int)
+	// NumBuckets returns the bucket/slot count of the key table.
+	NumBuckets() int
+	// NumKeys returns the number of distinct contract-index tuples.
+	NumKeys() int
+	// NumItems returns nnz_Y.
+	NumItems() int
+	// MaxItemLen returns nnz_Fmax of Eq. 6: the largest item list.
+	MaxItemLen() int
+	// Bytes reports the measured memory footprint of the table.
+	Bytes() uint64
 }
 
 // BuildHtY converts Y (COO, any order) into an HtY. radC and radF encode
@@ -75,9 +97,9 @@ func nextPow2(n int) int {
 func BuildHtY(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) *HtY {
 	n := y.NNZ()
 	if buckets <= 0 {
-		buckets = nextPow2(n)
+		buckets = NextPow2(n)
 	} else {
-		buckets = nextPow2(buckets)
+		buckets = NextPow2(buckets)
 	}
 	h := &HtY{
 		buckets: make([]ytBucket, buckets),
@@ -139,6 +161,15 @@ func (h *HtY) Lookup(key uint64) (items []YItem, probes int) {
 
 // NumBuckets returns the bucket count.
 func (h *HtY) NumBuckets() int { return len(h.buckets) }
+
+// NumKeys returns the number of distinct contract-index tuples (YTable).
+func (h *HtY) NumKeys() int { return h.NKeys }
+
+// NumItems returns nnz_Y (YTable).
+func (h *HtY) NumItems() int { return h.NItems }
+
+// MaxItemLen returns the largest item list (YTable).
+func (h *HtY) MaxItemLen() int { return h.MaxItems }
 
 // Bytes reports the measured memory footprint of the table: bucket headers
 // plus per-entry and per-item payloads. Compare EstimateHtYBytes (Eq. 5).

@@ -1,0 +1,221 @@
+package hashtab
+
+import (
+	"sync/atomic"
+
+	"sparta/internal/coo"
+	"sparta/internal/lnum"
+	"sparta/internal/parallel"
+)
+
+// emptySlot marks a free slot in the open-addressed key tables. LN keys are
+// strictly below their radix cardinality, which itself fits in a uint64, so
+// ^uint64(0) can never be a real key (max key = card-1 <= 2^64-2).
+const emptySlot = ^uint64(0)
+
+// ytSlot is one open-addressed slot of HtYFlat: the claiming key and its
+// dense rank interleaved in 16 bytes, so a probe and the rank read that
+// follows a hit touch a single cache line. The key field is first (8-byte
+// aligned) because pass 1 of the build claims it with CompareAndSwapUint64.
+type ytSlot struct {
+	key  uint64 // emptySlot when free
+	rank int32  // dense rank of the key (slot-scan order)
+}
+
+// HtYFlat is the cache-friendly layout of the hash-table-represented second
+// input tensor: an open-addressed (linear-probe, power-of-two) key table over
+// a contiguous CSR-style item arena. A Lookup is one probe sequence over a
+// flat slot slice followed by a sub-slice of the arena — no mutexes, no
+// per-entry slice headers, no pointer chasing, zero per-entry allocations.
+//
+// Layout:
+//
+//	table[s]     {key, rank}: LN contract key claiming slot s (or emptySlot)
+//	             and its dense rank
+//	keys[r]      key of rank r (kept for stats/debugging)
+//	itemOff[r]   items of rank r live in items[itemOff[r]:itemOff[r+1]]
+//	items        all nnz_Y YItems, grouped by key, original Y order inside
+//	             each group
+type HtYFlat struct {
+	table []ytSlot
+	mask  uint64
+
+	keys    []uint64
+	itemOff []int32
+	items   []YItem
+
+	// NKeys is the number of distinct contract-index tuples.
+	NKeys int
+	// NItems is nnz_Y.
+	NItems int
+	// MaxItems is nnz_Fmax of Eq. 6: the largest item list.
+	MaxItems int
+}
+
+// BuildHtYFlat converts Y (COO, any order) into an HtYFlat with a lock-free,
+// two-pass, counting-sort-style construction:
+//
+//	pass 1  every non-zero encodes its contract key, claims a slot in the
+//	        open-addressed key table via compare-and-swap (no locks), and
+//	        bumps that slot's item count (atomic add)
+//	merge   one scan over the slots assigns dense ranks in slot order and
+//	        prefix-sums the counts into arena offsets; a serial O(n) sweep
+//	        in non-zero order then assigns each item its arena position
+//	pass 2  every non-zero scatters its YItem (free-key encode + value) to
+//	        its precomputed position — threads write disjoint slots, no locks
+//
+// Positions are assigned by a single sweep in original non-zero order, so
+// the items of one key appear in original Y order and the build is
+// deterministic regardless of thread count (unlike the lock-order-dependent
+// chained build). The sweep is serial but does only one array increment per
+// non-zero; the encode-heavy scatter stays parallel, and nothing in the
+// build is O(threads * buckets).
+//
+// buckets <= 0 picks the default: next power of two >= 2*nnz_Y (load factor
+// <= 0.5 over distinct keys). Explicit bucket counts are rounded up to a
+// power of two and clamped to > nnz_Y so the open-addressed table always
+// keeps a free slot (probe sequences must terminate).
+func BuildHtYFlat(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) *HtYFlat {
+	n := y.NNZ()
+	if buckets <= 0 {
+		buckets = NextPow2(2 * n)
+	} else {
+		buckets = NextPow2(buckets)
+	}
+	if min := NextPow2(n + 1); buckets < min {
+		buckets = min
+	}
+	h := &HtYFlat{
+		table:  make([]ytSlot, buckets),
+		mask:   uint64(buckets - 1),
+		NItems: n,
+	}
+	for i := range h.table {
+		h.table[i].key = emptySlot
+	}
+	cCols := make([][]uint32, len(cmodes))
+	for k, m := range cmodes {
+		cCols[k] = y.Inds[m]
+	}
+	fCols := make([][]uint32, len(fmodes))
+	for k, m := range fmodes {
+		fCols[k] = y.Inds[m]
+	}
+	if n == 0 {
+		h.itemOff = make([]int32, 1)
+		return h
+	}
+
+	// Pass 1: claim slots with CAS and count items per slot (atomic adds on
+	// a shared counts array — contention only between items of one key).
+	threads = parallel.Clamp(threads, n)
+	slotOf := make([]int32, n)
+	counts := make([]int32, buckets)
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := radC.EncodeStrided(cCols, i)
+			s := hashKey(key) & h.mask
+			for {
+				cur := atomic.LoadUint64(&h.table[s].key)
+				if cur == key {
+					break
+				}
+				if cur == emptySlot {
+					if atomic.CompareAndSwapUint64(&h.table[s].key, emptySlot, key) {
+						break
+					}
+					continue // lost the race for this slot; re-read it
+				}
+				s = (s + 1) & h.mask
+			}
+			slotOf[i] = int32(s)
+			atomic.AddInt32(&counts[s], 1)
+		}
+	})
+
+	// Merge: rank the claimed slots in slot order and prefix-sum the counts
+	// into arena offsets; counts[s] then becomes the running scatter cursor
+	// of its slot, and one serial sweep in non-zero order turns slotOf[i]
+	// into the item's final arena position (stable: original Y order within
+	// each key, independent of the thread count).
+	for s := 0; s < buckets; s++ {
+		if h.table[s].key == emptySlot {
+			continue
+		}
+		h.table[s].rank = int32(h.NKeys)
+		h.NKeys++
+		h.keys = append(h.keys, h.table[s].key)
+		h.itemOff = append(h.itemOff, int32(0))
+	}
+	h.itemOff = append(h.itemOff, 0)
+	off := int32(0)
+	for s := 0; s < buckets; s++ {
+		if c := counts[s]; c > 0 {
+			r := h.table[s].rank
+			h.itemOff[r] = off
+			off += c
+			h.itemOff[r+1] = off
+			if int(c) > h.MaxItems {
+				h.MaxItems = int(c)
+			}
+			counts[s] = h.itemOff[r]
+		}
+	}
+	for i := 0; i < n; i++ {
+		s := slotOf[i]
+		slotOf[i] = counts[s]
+		counts[s]++
+	}
+
+	// Pass 2: scatter every YItem to its precomputed arena position.
+	h.items = make([]YItem, n)
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h.items[slotOf[i]] = YItem{LNFree: radF.EncodeStrided(fCols, i), Val: y.Vals[i]}
+		}
+	})
+	return h
+}
+
+// Lookup returns the item list for an LN contract key, or nil, plus the
+// number of slot probes: one linear-probe sequence over the flat slot array,
+// then a contiguous arena sub-slice. The probe count is derived from the
+// displacement after the loop, keeping the loop body to one load and two
+// compares.
+func (h *HtYFlat) Lookup(key uint64) ([]YItem, int) {
+	s0 := hashKey(key) & h.mask
+	s := s0
+	for {
+		k := h.table[s].key
+		if k == key {
+			r := h.table[s].rank
+			return h.items[h.itemOff[r]:h.itemOff[r+1]], int((s-s0)&h.mask) + 1
+		}
+		if k == emptySlot {
+			return nil, int((s-s0)&h.mask) + 1
+		}
+		s = (s + 1) & h.mask
+	}
+}
+
+// NumBuckets returns the slot count of the key table.
+func (h *HtYFlat) NumBuckets() int { return len(h.table) }
+
+// NumKeys returns the number of distinct contract-index tuples (YTable).
+func (h *HtYFlat) NumKeys() int { return h.NKeys }
+
+// NumItems returns nnz_Y (YTable).
+func (h *HtYFlat) NumItems() int { return h.NItems }
+
+// MaxItemLen returns the largest item list (YTable).
+func (h *HtYFlat) MaxItemLen() int { return h.MaxItems }
+
+// Bytes reports the measured memory footprint: key table (16 per slot,
+// key+rank interleaved) plus the CSR arena (8 per key, 4 per offset, 16 per
+// item). The Eq. 5 estimate still upper-bounds this — the per-item cost
+// drops from Size_idx*N_Y + Size_val + Size_ep chained bytes to a fixed 16,
+// and the per-slot cost from 32 to 16.
+func (h *HtYFlat) Bytes() uint64 {
+	return uint64(len(h.table))*16 +
+		uint64(len(h.keys))*8 + uint64(len(h.itemOff))*4 + uint64(len(h.items))*16
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# check.sh — the same gate as `make verify`, for environments without make:
+# full build, vet, and race-detector test sweep (-short for the bench
+# experiments, full for the hot packages — see the Makefile note).
+set -eu
+cd "$(dirname "$0")/.."
+go build ./...
+go vet ./...
+go test -race -short ./...
+go test -race ./internal/hashtab ./internal/core

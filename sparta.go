@@ -70,6 +70,15 @@ const (
 	AlgSparta   = core.AlgSparta   // Sparta (Algorithm 2)
 )
 
+// Kernel selects the hash-table layout family (HtY + HtA) used by the
+// accumulating algorithms. Both produce identical outputs.
+type Kernel = core.Kernel
+
+const (
+	KernelFlat    = core.KernelFlat    // open addressing, lock-free two-pass HtY build (default)
+	KernelChained = core.KernelChained // the seed separate-chaining layout, kept for A/B
+)
+
 // Options configures Contract.
 type Options = core.Options
 
