@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-json clean
+.PHONY: build test lint verify bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,27 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: full build, vet, and the race detector over
-# every package (the lock-free HtY build and open-addressed tables live or
-# die by this). The bench experiments run -short under race — at full tilt
-# they exceed the test timeout on small machines — while the hot packages
-# (hashtab, core), which have no short-mode skips, always race-run in full.
+# lint runs the in-tree analyzer suite (cmd/sptc-lint): atomicmix,
+# chunkloop, lnoverflow, hotpanic, bareerr. Zero dependencies, exits
+# non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/sptc-lint ./...
+
+# verify is the pre-merge gate: full build, vet, the sptc-lint analyzers,
+# and the race detector over every package (the lock-free HtY build and
+# open-addressed tables live or die by this). The bench experiments run
+# -short under race — at full tilt they exceed the test timeout on small
+# machines — while the hot packages (hashtab, core), which have no
+# short-mode skips, always race-run in full, once plain and once with the
+# -tags assert invariant checks compiled in (probe bounds, load factor,
+# arena-sweep monotonicity; see internal/invariant).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/sptc-lint ./...
 	$(GO) test -race -short ./...
 	$(GO) test -race ./internal/hashtab ./internal/core
+	$(GO) test -race -tags assert ./internal/hashtab ./internal/core
 
 # bench prints the chained-vs-flat hash-kernel duel without writing JSON.
 bench:

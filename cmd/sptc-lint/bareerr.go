@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// bareerr flags calls whose error result is silently dropped — a call used
+// as a bare statement even though it returns an error. Sparta's pipeline
+// threads errors from every stage up through Contract; a swallowed error in
+// a cmd/ or bench driver turns a failed experiment into a half-written
+// table.
+//
+// Deliberately tolerated (no diagnostic):
+//   - deferred calls (`defer f.Close()` — the result has nowhere to go)
+//   - the fmt print family (Print/Printf/Println/Fprint/Fprintf/Fprintln),
+//     whose error results are ignored by near-universal convention
+//   - methods on strings.Builder and bytes.Buffer, which document that they
+//     never return a non-nil error
+//   - explicit discards (`_ = f()`), which are a visible decision
+var bareerrAnalyzer = &Analyzer{
+	Name: "bareerr",
+	Doc:  "dropped error results (call statements that ignore a returned error)",
+	Run:  runBareerr,
+}
+
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runBareerr(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		inspect(p, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if d, bad := droppedError(p, call); bad {
+				diags = append(diags, d)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// droppedError reports a diagnostic when the call returns an error that the
+// statement discards and no tolerance applies.
+func droppedError(p *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil || !returnsError(tv.Type) {
+		return Diagnostic{}, false
+	}
+	if callee := calleeFunc(p, call); callee != nil {
+		if allowedErrorDrop(callee) {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "bareerr",
+			Message:  fmt.Sprintf("error result of %s is dropped; handle it or discard explicitly with _ =", callee.FullName()),
+		}, true
+	}
+	return Diagnostic{
+		Pos:      p.Fset.Position(call.Pos()),
+		Analyzer: "bareerr",
+		Message:  "error result of call is dropped; handle it or discard explicitly with _ =",
+	}, true
+}
+
+// returnsError reports whether a call-result type includes an error (sole
+// result or any member of a tuple).
+func returnsError(t types.Type) bool {
+	isErr := func(t types.Type) bool {
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErr(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErr(t)
+}
+
+// calleeFunc statically resolves the called function, nil for indirect calls.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// allowedErrorDrop is the conventional-tolerance list.
+func allowedErrorDrop(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg != nil && pkg.Path() == "fmt" && fmtPrintFuncs[f.Name()] {
+		return true
+	}
+	// Methods on the never-failing writers.
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok && named.Obj().Pkg() != nil {
+			path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+			if (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// chunkloop keeps parallelism funneled through internal/parallel: any other
+// internal package that spawns goroutines by hand, or computes per-thread
+// range bounds with nnz/threads arithmetic, is re-inventing the chunking
+// that parallel.For/ForChunked already centralize (with Clamp's guarantees
+// and the dynamic-scheduling option the paper's skewed sub-tensors need).
+var chunkloopAnalyzer = &Analyzer{
+	Name: "chunkloop",
+	Doc:  "hand-rolled goroutine fan-out or nnz/threads chunk arithmetic outside internal/parallel",
+	Run:  runChunkloop,
+}
+
+// threadsIdents are the identifier names treated as a worker count when they
+// appear as a divisor in range-bound arithmetic.
+var threadsIdents = map[string]bool{
+	"threads": true, "nthreads": true, "nthr": true,
+	"workers": true, "nworkers": true, "nw": true,
+}
+
+func runChunkloop(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if !strings.Contains(p.Path, "/internal/") || strings.HasSuffix(p.Path, "/internal/parallel") {
+			continue
+		}
+		inspect(p, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(n.Pos()),
+					Analyzer: "chunkloop",
+					Message:  "manual goroutine fan-out; route parallel work through parallel.For or parallel.ForChunked",
+				})
+			case *ast.BinaryExpr:
+				// Only integer division computes chunk bounds; float
+				// division by a thread count is cost modeling (hetmem).
+				if n.Op != token.QUO || !isIntegerExpr(p, n) {
+					return true
+				}
+				if name, ok := threadsDivisor(n.Y); ok {
+					diags = append(diags, Diagnostic{
+						Pos:      p.Fset.Position(n.OpPos),
+						Analyzer: "chunkloop",
+						Message: fmt.Sprintf(
+							"hand-rolled per-thread chunk arithmetic (division by %q); use parallel.ForChunked for work splitting", name),
+					})
+					return false // don't re-flag nested divisions of the same expression
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isIntegerExpr reports whether the expression's static type is an integer.
+func isIntegerExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// threadsDivisor reports whether a divisor expression mentions a
+// worker-count identifier, returning the first such name.
+func threadsDivisor(e ast.Expr) (string, bool) {
+	var found string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && threadsIdents[strings.ToLower(id.Name)] {
+			found = id.Name
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}

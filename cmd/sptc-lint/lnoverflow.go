@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lnoverflow guards the LN linearization against silent uint64 wrap-around:
+// the whole scheme (§3.3) is only a bijection while the product of mode
+// sizes fits in a uint64, so every multiply that combines dimension
+// cardinalities must either check overflow through bits.Mul64 (the
+// NewRadix pattern) or point at the invariant that makes it safe with a
+// //lint:ignore lnoverflow justification (Encode sites rely on ln < Card,
+// which NewRadix established with the checked product).
+var lnoverflowAnalyzer = &Analyzer{
+	Name: "lnoverflow",
+	Doc:  "unguarded uint64 multiplication of dimension/cardinality values (LN wrap-around hazard)",
+	Run:  runLnoverflow,
+}
+
+// dimNames marks identifiers/selectors treated as dimension cardinalities.
+func isDimName(name string) bool {
+	n := strings.ToLower(name)
+	return strings.Contains(n, "dim") || strings.Contains(n, "card") || strings.Contains(n, "stride")
+}
+
+func runLnoverflow(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			if fd.Body == nil {
+				continue
+			}
+			if callsCheckedMul(p, fd.Body) {
+				continue // the NewRadix pattern: 128-bit product, hi word checked
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || be.Op != token.MUL {
+					return true
+				}
+				if !isUint64(p, be) {
+					return true
+				}
+				if !mentionsDim(be.X) && !mentionsDim(be.Y) {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(be.OpPos),
+					Analyzer: "lnoverflow",
+					Message:  "unguarded uint64 multiply on a dimension product; check overflow with bits.Mul64 or name the protecting invariant with //lint:ignore",
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// callsCheckedMul reports whether body guards its products: a call to
+// bits.Mul64 (or a local wrapper whose name contains "mul64"), or a call to
+// lnum.NewRadix/MustRadix, which checks the same dims' product with the
+// 128-bit multiply before any Encode-style accumulation can run.
+func callsCheckedMul(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "NewRadix" || fun.Sel.Name == "MustRadix" {
+				found = true
+			}
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := p.Info.Uses[id].(*types.PkgName); ok &&
+					pn.Imported().Path() == "math/bits" && fun.Sel.Name == "Mul64" {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(fun.Name), "mul64") ||
+				fun.Name == "NewRadix" || fun.Name == "MustRadix" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isUint64 reports whether the expression's static type is uint64.
+func isUint64(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+// mentionsDim reports whether the operand subtree names a dimension-like
+// value (dims, card, strides — by identifier or selector name). len(dims)
+// subtrees don't count: the length of a dims slice is a mode count, not a
+// cardinality.
+func mentionsDim(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return false
+			}
+		case *ast.Ident:
+			if isDimName(n.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if isDimName(n.Sel.Name) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package handed to the analyzers.
+type Package struct {
+	Path  string // import path ("sparta/internal/hashtab")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// loader parses and type-checks module packages with nothing but the
+// standard library: module-internal imports are resolved recursively by the
+// loader itself, everything else (the standard library) is delegated to the
+// go/importer source importer, so the tool works offline and without
+// golang.org/x/tools.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string // absolute module root (dir of go.mod)
+	modPath string // module path from go.mod
+	std     types.Importer
+	loaded  map[string]*Package // import path -> package (nil while in flight)
+	ctxt    build.Context       // build-constraint evaluation (tags, _os suffixes)
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	// The lint view is the default build: no "assert" tag, current GOOS/ARCH.
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  map[string]*Package{},
+		ctxt:    ctxt,
+	}
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expand resolves command-line patterns into import paths. "./..." (or any
+// "dir/..." form) walks for directories containing buildable .go files;
+// plain directory arguments map to their package.
+func (l *loader) expand(patterns []string) ([]string, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		p := l.dirToPath(dir)
+		if p != "" && !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Clean(strings.TrimSuffix(rest, "/"))
+			if root == "" || root == "." {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if l.hasGoFiles(p) {
+					add(p)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !l.hasGoFiles(pat) {
+			return nil, fmt.Errorf("%s: no buildable Go files", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// dirToPath converts a directory to its module import path ("" if outside
+// the module).
+func (l *loader) dirToPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	rel, err := filepath.Rel(l.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return ""
+	}
+	if rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// pathToDir inverts dirToPath for module import paths ("" for others).
+func (l *loader) pathToDir(path string) string {
+	if path == l.modPath {
+		return l.modRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// hasGoFiles reports whether dir holds at least one buildable non-test file.
+func (l *loader) hasGoFiles(dir string) bool {
+	names, err := l.goFiles(dir)
+	return err == nil && len(names) > 0
+}
+
+// goFiles lists the non-test .go files of dir that match the current build
+// constraints (so e.g. only one personality of a //go:build tag pair loads).
+func (l *loader) goFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		ok, err := l.ctxt.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// load parses and type-checks one module package (memoized). It is also the
+// types.Importer hook for module-internal imports, so dependencies load
+// recursively in the right order.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.loaded[path] = nil // in flight: a re-entrant load is a cycle
+	dir := l.pathToDir(path)
+	if dir == "" {
+		return nil, fmt.Errorf("%s: not a module package", path)
+	}
+	names, err := l.goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", path)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// importPkg routes an import: module paths go through load, the rest through
+// the standard-library source importer.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

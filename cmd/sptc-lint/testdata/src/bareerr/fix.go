@@ -1,0 +1,50 @@
+// Package bareerr is the bareerr analyzer fixture: dropped, discarded,
+// deferred and conventionally-ignored error results.
+package bareerr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func drop() {
+	work() // want 2 "error result of fix/bareerr.work is dropped"
+}
+
+func dropPair() {
+	pair() // want 2 "error result of fix/bareerr.pair is dropped"
+}
+
+func closes(f *os.File) {
+	f.Close() // want 2 "error result of (*os.File).Close is dropped"
+}
+
+func explicit() {
+	_ = work() // clean: visible decision
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // clean: deferred, the result has nowhere to go
+}
+
+func conventional(sb *strings.Builder) {
+	fmt.Println("ok")    // clean: fmt print family
+	sb.WriteString("ok") // clean: strings.Builder never fails
+}
+
+func handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func justified() {
+	//lint:ignore bareerr best-effort cleanup on an already-failing path
+	work()
+}

@@ -1,0 +1,36 @@
+// Package chunkfix is the chunkloop analyzer fixture: an internal package
+// (import path contains /internal/, is not internal/parallel) that chunks
+// work by hand.
+package chunkfix
+
+import "sync"
+
+func fanOut(n, threads int, body func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads // want 29 "hand-rolled per-thread chunk arithmetic"
+	for lo := 0; lo < n; lo += chunk {
+		wg.Add(1)
+		go func(lo int) { // want 3 "manual goroutine fan-out"
+			defer wg.Done()
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}(lo)
+	}
+	wg.Wait()
+}
+
+func staticSplit(n, t, nthreads int) (int, int) {
+	lo := n * t / nthreads // want 14 "hand-rolled per-thread chunk arithmetic"
+	return lo, lo
+}
+
+func modelNS(model float64, threads int) float64 {
+	return model / float64(threads) // clean: float division is cost modeling, not chunking
+}
+
+func unrelated(total, parts int) int {
+	return total / parts // clean: divisor is not a worker count
+}

@@ -1,0 +1,35 @@
+// Package core is the hotpanic analyzer fixture: its import path ends in
+// internal/core, so it counts as a hot package and its exported API is the
+// reachability root set.
+package core
+
+// Contract mimics the hot-path entry point.
+func Contract(n int) (int, error) {
+	return helper(n), nil
+}
+
+func helper(n int) int {
+	if n < 0 {
+		panic("negative sub-tensor count") // want 3 "panic in helper is reachable from the contraction hot path"
+	}
+	return deeper(n)
+}
+
+func deeper(n int) int {
+	if n > 1<<30 {
+		panic("too large") // want 3 "panic in deeper is reachable from the contraction hot path"
+	}
+	return n * 2
+}
+
+// MustSize panics directly in an exported (root) function.
+func MustSize(ok bool) {
+	if !ok {
+		panic("bad size") // want 3 "panic in MustSize is reachable from the contraction hot path"
+	}
+}
+
+// cold is reachable from no exported function; its panic is not hot.
+func cold() {
+	panic("unreachable from the API") // clean
+}

@@ -1,0 +1,50 @@
+// Package lnoverflow is the lnoverflow analyzer fixture: dimension products
+// with and without the checked-multiply guard.
+package lnoverflow
+
+import "math/bits"
+
+func product(dims []uint64) uint64 {
+	card := uint64(1)
+	for _, d := range dims {
+		card = card * d // want 15 "unguarded uint64 multiply on a dimension product"
+	}
+	return card
+}
+
+func encode(idx []uint32, dims []uint64) uint64 {
+	var ln uint64
+	for m, v := range idx {
+		ln = ln*dims[m] + uint64(v) // want 10 "unguarded uint64 multiply on a dimension product"
+	}
+	return ln
+}
+
+func checked(dims []uint64) (uint64, bool) {
+	card := uint64(1)
+	for _, d := range dims {
+		hi, lo := bits.Mul64(card, d)
+		if hi != 0 {
+			return 0, false
+		}
+		card = lo
+	}
+	return card, true
+}
+
+func justified(idx []uint32, dims []uint64) uint64 {
+	var ln uint64
+	for m, v := range idx {
+		//lint:ignore lnoverflow ln stays below the cardinality the caller checked
+		ln = ln*dims[m] + uint64(v)
+	}
+	return ln
+}
+
+func bytesEstimate(nnz int, dims []uint64) uint64 {
+	return uint64(nnz) * uint64(4*len(dims)+8) // clean: len(dims) is a mode count, not a cardinality
+}
+
+func plainProduct(a, b uint64) uint64 {
+	return a * b // clean: no dimension-like operand
+}

@@ -1,0 +1,14 @@
+// Package suppress is the suppression-machinery fixture: well-formed,
+// malformed, and unknown-analyzer //lint:ignore directives.
+package suppress
+
+func products(dims []uint64) uint64 {
+	card := uint64(1)
+	//lint:ignore lnoverflow
+	card = card * dims[0] // want 14 "unguarded uint64 multiply on a dimension product"
+	//lint:ignore nosuchanalyzer because I said so
+	card = card * dims[1] // want 14 "unguarded uint64 multiply on a dimension product"
+	//lint:ignore lnoverflow caller bounds the product below 2^64
+	card = card * dims[2] // clean: properly suppressed
+	return card
+}

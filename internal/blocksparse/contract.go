@@ -236,6 +236,7 @@ func encodeSectors(rad *lnum.Radix, sec []uint32, modes []int) uint64 {
 		if k < len(modes) {
 			v = sec[modes[k]]
 		}
+		//lint:ignore lnoverflow ln stays below rad.Card(), whose uint64 fit NewRadix checked at construction
 		ln = ln*rad.Dims()[k] + uint64(v)
 	}
 	return ln

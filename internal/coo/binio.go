@@ -135,7 +135,7 @@ func (t *Tensor) SaveBin(path string) error {
 		return err
 	}
 	if err := t.WriteBin(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

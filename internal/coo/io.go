@@ -157,7 +157,7 @@ func (t *Tensor) SaveTNS(path string) error {
 		return err
 	}
 	if err := t.WriteTNS(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

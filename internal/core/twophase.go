@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sparta/internal/coo"
+	"sparta/internal/invariant"
 	"sparta/internal/parallel"
 )
 
@@ -158,6 +159,14 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 			} else {
 				keys, vals = w.hta.Keys(), w.hta.Vals()
 			}
+			if invariant.Enabled {
+				// The numeric phase re-runs the exact index structure the
+				// symbolic phase counted; a mismatch would smear this
+				// sub-tensor's rows over its neighbor's pre-allocated range.
+				invariant.Assertf(len(keys) == counts[f],
+					"two-phase: sub-tensor %d produced %d keys numerically but %d symbolically",
+					f, len(keys), counts[f])
+			}
 			for k := range keys {
 				for m := 0; m < p.nfx; m++ {
 					z.Inds[m][pos] = xw.Inds[m][xAt]
@@ -168,6 +177,11 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 				}
 				z.Vals[pos] = vals[k]
 				pos++
+			}
+			if invariant.Enabled {
+				invariant.Assertf(pos-zoff[f] == counts[f],
+					"two-phase: sub-tensor %d wrote %d rows into a range sized %d",
+					f, pos-zoff[f], counts[f])
 			}
 			if w.htaF != nil {
 				w.htaF.Reset()

@@ -2,6 +2,7 @@ package hashtab
 
 import (
 	"sparta/internal/coo"
+	"sparta/internal/invariant"
 	"sparta/internal/lnum"
 	"sparta/internal/parallel"
 )
@@ -62,6 +63,8 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 	for b := 0; b < buckets; b++ {
 		counts[b+1] += counts[b]
 	}
+	invariant.Assertf(int(counts[buckets]) == n,
+		"BuildHtY2P: bucket counts prefix-sum to %d, want nnz_Y = %d", counts[buckets], n)
 
 	// Pass 2: scatter positions into a bucket-partitioned order. Each
 	// thread re-walks its range using its own copy of the running
@@ -74,6 +77,14 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 		offsets[t] = append([]int32(nil), run...)
 		for b, c := range partial[t] {
 			run[b] += c
+		}
+	}
+	if invariant.Enabled {
+		// Each thread's starting offsets must tile the buckets exactly: the
+		// final running offsets equal the next bucket's start.
+		for b := 0; b < buckets; b++ {
+			invariant.Assertf(run[b] == counts[b+1],
+				"BuildHtY2P: scatter offsets for bucket %d end at %d, want %d", b, run[b], counts[b+1])
 		}
 	}
 	parallel.For(threads, n, func(tid, lo, hi int) {

@@ -1,5 +1,7 @@
 package hashtab
 
+import "sparta/internal/invariant"
+
 // HtAFlat is the open-addressed variant of the sparse accumulator HtA
 // (§3.4): same thread-private usage, same insertion-order keys/vals arrays
 // (so the Zlocal flush contract in package core is unchanged), but the
@@ -63,7 +65,14 @@ func (h *HtAFlat) Len() int { return len(h.keys) }
 // a direct O(entries) scatter with no re-probing.
 func (h *HtAFlat) Reset() {
 	if len(h.keys) < len(h.table)/8 {
-		for _, s := range h.slots {
+		for i, s := range h.slots {
+			if invariant.Enabled {
+				// Slot-memory consistency: the remembered slot must still
+				// hold the entry that claimed it.
+				invariant.Assertf(h.table[s].key == h.keys[i] && h.table[s].idx == int32(i),
+					"HtAFlat.Reset: entry %d remembers slot %d, but the slot holds {key %d, idx %d}",
+					i, s, h.table[s].key, h.table[s].idx)
+			}
 			h.table[s].key = emptySlot
 		}
 	} else {
@@ -101,8 +110,19 @@ func (h *HtAFlat) Add(key uint64, v float64) {
 	h.keys = append(h.keys, key)
 	h.vals = append(h.vals, v)
 	h.slots = append(h.slots, int32(s))
+	if invariant.Enabled {
+		invariant.Assertf(len(h.keys) == len(h.vals) && len(h.keys) == len(h.slots),
+			"HtAFlat.Add: entry arrays diverged (%d keys, %d vals, %d slots)",
+			len(h.keys), len(h.vals), len(h.slots))
+	}
 	if 2*len(h.keys) > len(h.table) {
 		h.grow()
+	}
+	if invariant.Enabled {
+		// Load factor <= 1/2 after any insert (post-grow when it triggered):
+		// the probe-length analysis of the accumulation stage depends on it.
+		invariant.Assertf(2*len(h.keys) <= len(h.table),
+			"HtAFlat.Add: load factor above 1/2 (%d entries in %d slots)", len(h.keys), len(h.table))
 	}
 }
 
@@ -110,6 +130,8 @@ func (h *HtAFlat) Add(key uint64, v float64) {
 // insertion order are untouched.
 func (h *HtAFlat) grow() {
 	nb := len(h.table) * 2
+	invariant.Assertf(nb&(nb-1) == 0 && 2*len(h.keys) <= nb,
+		"HtAFlat.grow: %d slots cannot hold %d entries below load factor 1/2", nb, len(h.keys))
 	h.table = make([]htaSlot, nb)
 	h.mask = uint64(nb - 1)
 	for i := range h.table {

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"sparta/internal/coo"
+	"sparta/internal/invariant"
 	"sparta/internal/lnum"
 	"sparta/internal/parallel"
 )
@@ -85,13 +86,19 @@ func BuildHtYFlat(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, b
 	if min := NextPow2(n + 1); buckets < min {
 		buckets = min
 	}
+	invariant.Assertf(buckets&(buckets-1) == 0 && buckets > n,
+		"HtYFlat: %d buckets for %d items (need power of two with a free slot)", buckets, n)
 	h := &HtYFlat{
 		table:  make([]ytSlot, buckets),
 		mask:   uint64(buckets - 1),
 		NItems: n,
 	}
+	// The slot keys are CAS targets in pass 1, so every access — even this
+	// pre-parallel initialization and the post-barrier merge below — goes
+	// through sync/atomic (enforced by sptc-lint's atomicmix; an aligned
+	// atomic word load/store compiles to a plain MOV on amd64 and arm64).
 	for i := range h.table {
-		h.table[i].key = emptySlot
+		atomic.StoreUint64(&h.table[i].key, emptySlot)
 	}
 	cCols := make([][]uint32, len(cmodes))
 	for k, m := range cmodes {
@@ -139,14 +146,17 @@ func BuildHtYFlat(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, b
 	// into the item's final arena position (stable: original Y order within
 	// each key, independent of the thread count).
 	for s := 0; s < buckets; s++ {
-		if h.table[s].key == emptySlot {
+		key := atomic.LoadUint64(&h.table[s].key)
+		if key == emptySlot {
 			continue
 		}
 		h.table[s].rank = int32(h.NKeys)
 		h.NKeys++
-		h.keys = append(h.keys, h.table[s].key)
+		h.keys = append(h.keys, key)
 		h.itemOff = append(h.itemOff, int32(0))
 	}
+	invariant.Assertf(h.NKeys < buckets,
+		"HtYFlat: %d keys filled all %d slots; probe sequences would not terminate", h.NKeys, buckets)
 	h.itemOff = append(h.itemOff, 0)
 	off := int32(0)
 	for s := 0; s < buckets; s++ {
@@ -161,10 +171,24 @@ func BuildHtYFlat(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, b
 			counts[s] = h.itemOff[r]
 		}
 	}
+	invariant.Assertf(int(off) == n,
+		"HtYFlat: arena offsets cover %d items, want nnz_Y = %d", off, n)
 	for i := 0; i < n; i++ {
 		s := slotOf[i]
 		slotOf[i] = counts[s]
 		counts[s]++
+	}
+	if invariant.Enabled {
+		// The position sweep must be a bijection [0,n) -> [0,n): monotone
+		// per slot (original Y order within each key) and within bounds.
+		for r := 1; r < len(h.itemOff); r++ {
+			invariant.Assertf(h.itemOff[r-1] <= h.itemOff[r],
+				"HtYFlat: itemOff not monotone at rank %d: %d > %d", r, h.itemOff[r-1], h.itemOff[r])
+		}
+		for i := 0; i < n; i++ {
+			invariant.Assertf(slotOf[i] >= 0 && int(slotOf[i]) < n,
+				"HtYFlat: position sweep sent item %d to %d, outside [0,%d)", i, slotOf[i], n)
+		}
 	}
 
 	// Pass 2: scatter every YItem to its precomputed arena position.
@@ -186,13 +210,19 @@ func (h *HtYFlat) Lookup(key uint64) ([]YItem, int) {
 	s0 := hashKey(key) & h.mask
 	s := s0
 	for {
-		k := h.table[s].key
+		k := atomic.LoadUint64(&h.table[s].key)
 		if k == key {
 			r := h.table[s].rank
 			return h.items[h.itemOff[r]:h.itemOff[r+1]], int((s-s0)&h.mask) + 1
 		}
 		if k == emptySlot {
 			return nil, int((s-s0)&h.mask) + 1
+		}
+		if invariant.Enabled {
+			// A full probe cycle means no free slot — the load-factor
+			// clamp in BuildHtYFlat was violated.
+			invariant.Assertf((s+1)&h.mask != s0,
+				"HtYFlat.Lookup: probe sequence wrapped the whole table (%d slots) without a free slot", len(h.table))
 		}
 		s = (s + 1) & h.mask
 	}

@@ -1,0 +1,13 @@
+//go:build !assert
+
+package invariant
+
+// Enabled reports whether assertions are compiled in. It is a constant so
+// `if invariant.Enabled { ... }` blocks vanish entirely from default builds.
+const Enabled = false
+
+// Assert is a no-op without the assert build tag.
+func Assert(bool, string) {}
+
+// Assertf is a no-op without the assert build tag.
+func Assertf(bool, string, ...any) {}

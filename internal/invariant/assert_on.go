@@ -1,0 +1,23 @@
+//go:build assert
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in. It is a constant so
+// `if invariant.Enabled { ... }` blocks vanish entirely from default builds.
+const Enabled = true
+
+// Assert panics with msg when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violated: " + msg)
+	}
+}
+
+// Assertf panics with the formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

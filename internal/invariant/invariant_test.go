@@ -1,0 +1,25 @@
+package invariant
+
+import "testing"
+
+// The package has two personalities; this test is written to pass under
+// both, so it can run inside the plain and the -tags assert verify sweeps.
+
+func TestAssertTrueNeverPanics(t *testing.T) {
+	Assert(true, "must not fire")
+	Assertf(true, "must not fire %d", 1)
+}
+
+func TestAssertFalse(t *testing.T) {
+	fired := func(f func()) (p bool) {
+		defer func() { p = recover() != nil }()
+		f()
+		return
+	}
+	if got := fired(func() { Assert(false, "boom") }); got != Enabled {
+		t.Fatalf("Assert(false) panicked=%v, want %v (Enabled)", got, Enabled)
+	}
+	if got := fired(func() { Assertf(false, "boom %d", 2) }); got != Enabled {
+		t.Fatalf("Assertf(false) panicked=%v, want %v (Enabled)", got, Enabled)
+	}
+}

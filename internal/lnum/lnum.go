@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+
+	"sparta/internal/invariant"
 )
 
 // ErrOverflow is reported when the product of mode sizes does not fit in a
@@ -81,6 +83,9 @@ func (r *Radix) Encode(idx []uint32) uint64 {
 		if uint64(v) >= r.dims[m] {
 			panic(fmt.Sprintf("lnum: index %d out of range for mode %d (size %d)", v, m, r.dims[m]))
 		}
+		// Cannot wrap: each step keeps ln < strides[m-1] <= card, and
+		// NewRadix proved card fits in a uint64 with a 128-bit multiply.
+		//lint:ignore lnoverflow ln stays below Card, whose uint64 fit NewRadix checked with bits.Mul64
 		ln = ln*r.dims[m] + uint64(v)
 	}
 	return ln
@@ -88,10 +93,18 @@ func (r *Radix) Encode(idx []uint32) uint64 {
 
 // EncodeStrided linearizes a subset of the columns of a mode-major index
 // store: idx[k][at] supplies the k-th tuple element. This avoids gathering a
-// temporary tuple in hot loops.
+// temporary tuple in hot loops; unlike Encode it performs no per-element
+// range check (inputs are validated at tensor construction), so the
+// in-range invariant is asserted only under -tags assert.
 func (r *Radix) EncodeStrided(idx [][]uint32, at int) uint64 {
 	var ln uint64
 	for m := range r.dims {
+		if invariant.Enabled {
+			invariant.Assertf(uint64(idx[m][at]) < r.dims[m],
+				"lnum: index %d out of range for mode %d (size %d); encode would wrap past Card",
+				idx[m][at], m, r.dims[m])
+		}
+		//lint:ignore lnoverflow ln stays below Card, whose uint64 fit NewRadix checked with bits.Mul64
 		ln = ln*r.dims[m] + uint64(idx[m][at])
 	}
 	return ln

@@ -1,10 +1,14 @@
 #!/bin/sh
 # check.sh — the same gate as `make verify`, for environments without make:
-# full build, vet, and race-detector test sweep (-short for the bench
-# experiments, full for the hot packages — see the Makefile note).
+# full build, vet, the sptc-lint analyzer suite, and the race-detector test
+# sweep (-short for the bench experiments, full for the hot packages — see
+# the Makefile note), then the hot packages again with -tags assert so the
+# internal/invariant checks are compiled in.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
+go run ./cmd/sptc-lint ./...
 go test -race -short ./...
 go test -race ./internal/hashtab ./internal/core
+go test -race -tags assert ./internal/hashtab ./internal/core
