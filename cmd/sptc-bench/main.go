@@ -7,6 +7,21 @@
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 table4
 // headline ablation kernels all. See DESIGN.md §4 for the experiment index
 // and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Observability (DESIGN.md §8):
+//
+//	sptc-bench -exp kernels -trace out.json       # Chrome trace-event spans
+//	sptc-bench -exp all -metrics-addr :9090       # /metrics + pprof + expvar
+//	sptc-bench -exp fig4 -metrics-addr :9090 -hold 60s
+//
+// -trace writes every contraction's stage and per-worker chunk spans (plus
+// fig8's bandwidth counter tracks) as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing. -metrics-addr
+// serves the obs registry in Prometheus text format at /metrics alongside
+// net/http/pprof and expvar under /debug/; -hold keeps the process (and the
+// endpoint) alive after the experiments finish so the run can be scraped.
+// With either flag set, probe-length and stage-time histogram summaries are
+// printed after the experiments.
 package main
 
 import (
@@ -15,9 +30,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"sparta"
 	"sparta/internal/bench"
+	"sparta/internal/obs"
 	"sparta/internal/stats"
 )
 
@@ -50,16 +67,34 @@ var experiments = []struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (or 'all'); empty lists them")
-		scale    = flag.Int("scale", 4000, "target non-zeros per generated dataset")
-		threads  = flag.Int("t", 0, "worker threads (0 = all cores)")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		dramFrac = flag.Float64("dram", 0.6, "simulated DRAM budget as fraction of peak memory")
+		exp         = flag.String("exp", "", "experiment to run (or 'all'); empty lists them")
+		scale       = flag.Int("scale", 4000, "target non-zeros per generated dataset")
+		threads     = flag.Int("t", 0, "worker threads (0 = all cores)")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		dramFrac    = flag.Float64("dram", 0.6, "simulated DRAM budget as fraction of peak memory")
+		tracePath   = flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/pprof, /debug/vars on this address")
+		hold        = flag.Duration("hold", 0, "keep serving -metrics-addr this long after the experiments finish")
 	)
 	flag.StringVar(&kernelsJSON, "json", "", "for -exp kernels: also write the duel rows to this JSON file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac}
+	if *tracePath != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
+	if *metricsAddr != "" || *tracePath != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if *metricsAddr != "" {
+		var err error
+		if srv, err = obs.StartServer(*metricsAddr, cfg.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "sptc-bench: -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	if *exp == "" {
 		fmt.Println("experiments:")
@@ -84,7 +119,10 @@ func main() {
 				if i > 0 {
 					fmt.Println()
 				}
-				if err := e.run(os.Stdout, cfg); err != nil {
+				sp := cfg.Tracer.Start("exp "+name, 0)
+				err := e.run(os.Stdout, cfg)
+				sp.End()
+				if err != nil {
 					fmt.Fprintf(os.Stderr, "sptc-bench: %s: %v\n", name, err)
 					os.Exit(1)
 				}
@@ -95,6 +133,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sptc-bench: unknown experiment %q (run without -exp to list)\n", name)
 			os.Exit(1)
 		}
+	}
+
+	if *tracePath != "" {
+		if err := cfg.Tracer.WriteFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "sptc-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load in https://ui.perfetto.dev)\n",
+			cfg.Tracer.Len(), *tracePath)
+	}
+	printHistograms(os.Stdout, cfg.Metrics)
+	if srv != nil && *hold > 0 {
+		fmt.Printf("holding the metrics endpoint for %v\n", *hold)
+		time.Sleep(*hold)
+	}
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// printHistograms renders every populated registry histogram as a summary
+// table — the terminal rendering of what /metrics exposes for scraping.
+func printHistograms(w io.Writer, reg *obs.Registry) {
+	first := true
+	for _, s := range reg.Snapshot() {
+		if s.Type != "histogram" || s.Count == 0 {
+			continue
+		}
+		if first {
+			fmt.Fprintln(w, "\nObserved distributions:")
+			first = false
+		}
+		fmt.Fprintln(w)
+		stats.RenderHistogram(w, s.Name+s.Labels, s.Bounds, s.Counts)
 	}
 }
 

@@ -34,6 +34,7 @@ var analyzers = []*Analyzer{
 	lnoverflowAnalyzer,
 	hotpanicAnalyzer,
 	bareerrAnalyzer,
+	spanleakAnalyzer,
 }
 
 // ignoreDirective is the suppression marker: a comment of the form

@@ -131,6 +131,10 @@ func TestBareerrFixture(t *testing.T) {
 	runFixture(t, "fix/bareerr", bareerrAnalyzer)
 }
 
+func TestSpanleakFixture(t *testing.T) {
+	runFixture(t, "fix/spanleak", spanleakAnalyzer)
+}
+
 // TestSuppressionMachinery covers the directive plumbing itself: malformed
 // and unknown-analyzer directives are reported and do not suppress, while a
 // well-formed one silences its line.

@@ -1,4 +1,4 @@
-// Command sptc-lint is Sparta's in-tree static-analysis gate: five
+// Command sptc-lint is Sparta's in-tree static-analysis gate: six
 // repo-specific analyzers over the whole module, built on nothing but
 // go/parser + go/types so it runs offline with a bare toolchain (no
 // golang.org/x/tools, no network, no module downloads).
@@ -14,6 +14,7 @@
 //	lnoverflow  unguarded uint64 dimension-product multiplies
 //	hotpanic    panic reachable from the contraction hot path
 //	bareerr     dropped error results
+//	spanleak    Tracer.Start* spans that are never End()ed
 //
 // A finding is suppressed by a comment on its line or the line above:
 //

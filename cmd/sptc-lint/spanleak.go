@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// spanleak flags Tracer.Start* calls whose returned span is never ended: the
+// call result dropped as a statement, discarded with `_ =`, or assigned to a
+// variable that has no `.End()` call and never escapes the function. An
+// un-ended span records nothing (obs.Span appends its B/E pair at End), so a
+// leak silently deletes an interval from every trace — the kind of bug only
+// noticed when a Perfetto timeline is missing a stage.
+//
+// A span that escapes — returned, passed to a function, stored into a
+// structure — is assumed ended elsewhere and tolerated.
+var spanleakAnalyzer = &Analyzer{
+	Name: "spanleak",
+	Doc:  "Tracer.Start* results whose span is never End()ed",
+	Run:  runSpanleak,
+}
+
+func runSpanleak(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		for _, fd := range funcDecls(p) {
+			if fd.Body != nil {
+				diags = append(diags, spanleakFunc(p, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+// spanleakFunc checks one function body (closures included — a span started
+// in a parallel.ForChunked body lives and must end inside that same body).
+func spanleakFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	parents := parentMap(fd.Body)
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTracerStart(p, call) {
+			return true
+		}
+		pos := p.Fset.Position(call.Pos())
+		switch par := parents[call].(type) {
+		case *ast.SelectorExpr:
+			// tr.Start(...).End() inline, or some longer chain (escapes).
+			return true
+		case *ast.ExprStmt:
+			diags = append(diags, Diagnostic{pos, "spanleak",
+				"span from " + startName(call) + " is dropped and never ended; assign it and call End"})
+		case *ast.AssignStmt:
+			lhs := assignTarget(par, call)
+			id, isIdent := lhs.(*ast.Ident)
+			if lhs == nil || !isIdent {
+				return true // stored into a field/index: escapes
+			}
+			if id.Name == "_" {
+				diags = append(diags, Diagnostic{pos, "spanleak",
+					"span from " + startName(call) + " is discarded with _ and never ended"})
+				return true
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			ended, escaped := spanFate(p, fd, id, obj, parents)
+			if !ended && !escaped {
+				diags = append(diags, Diagnostic{pos, "spanleak",
+					fmt.Sprintf("span %q is never ended (no End call, and it does not escape)", id.Name)})
+			}
+		}
+		// Any other parent (call argument, return statement, composite
+		// literal) hands the span to someone else: assumed ended there.
+		return true
+	})
+	return diags
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// isTracerStart matches method calls Start* on a (pointer to) named type
+// Tracer that return a named type Span — the obs tracing API shape, without
+// tying the analyzer to one import path.
+func isTracerStart(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Start") {
+		return false
+	}
+	recv, ok := p.Info.Types[sel.X]
+	if !ok || !isNamed(recv.Type, "Tracer") {
+		return false
+	}
+	res, ok := p.Info.Types[call]
+	return ok && isNamed(res.Type, "Span")
+}
+
+// isNamed reports whether t (possibly behind one pointer) is a named type
+// with the given name.
+func isNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// startName renders the flagged call for the message, e.g. "Tracer.Start".
+func startName(call *ast.CallExpr) string {
+	sel := call.Fun.(*ast.SelectorExpr)
+	return "Tracer." + sel.Sel.Name
+}
+
+// assignTarget returns the LHS expression matching the given RHS value of a
+// (possibly parallel) assignment, nil when the shapes do not line up.
+func assignTarget(as *ast.AssignStmt, rhs ast.Expr) ast.Expr {
+	for i, r := range as.Rhs {
+		if r == rhs && i < len(as.Lhs) {
+			return as.Lhs[i]
+		}
+	}
+	return nil
+}
+
+// spanFate scans every use of the span variable: `sp.End()` (including
+// deferred) marks it ended; any use other than a blank re-discard marks it
+// escaped. def is skipped — it is the assignment being classified.
+func spanFate(p *Package, fd *ast.FuncDecl, def *ast.Ident, obj types.Object, parents map[ast.Node]ast.Node) (ended, escaped bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || p.Info.Uses[id] != obj {
+			return true
+		}
+		switch par := parents[id].(type) {
+		case *ast.SelectorExpr:
+			if par.Sel.Name == "End" {
+				ended = true
+				return true
+			}
+			escaped = true
+		case *ast.AssignStmt:
+			if t, isIdent := assignTarget(par, id).(*ast.Ident); isIdent && t != nil && t.Name == "_" {
+				return true // `_ = sp`: still discarded, not an escape
+			}
+			escaped = true
+		default:
+			escaped = true
+		}
+		return true
+	})
+	return ended, escaped
+}

@@ -1,0 +1,79 @@
+// Package spanleak is the spanleak fixture: a local mirror of the obs
+// tracing API shape (named Tracer with Start* methods returning a named
+// Span) so the analyzer matches without importing the real package.
+package spanleak
+
+type Tracer struct{}
+
+type Span struct{ open bool }
+
+func (t *Tracer) Start(name string, tid int) Span { return Span{open: true} }
+
+func (t *Tracer) StartRegion(name string) Span { return Span{open: true} }
+
+func (s Span) End() {}
+
+// Other has a Start method too, but is no Tracer and returns no Span.
+type Other struct{}
+
+func (o *Other) Start() int { return 0 }
+
+func dropped(tr *Tracer) {
+	tr.Start("a", 0) // want 2 "never ended"
+}
+
+func droppedRegion(tr *Tracer) {
+	tr.StartRegion("b") // want 2 "never ended"
+}
+
+func blankDiscard(tr *Tracer) {
+	_ = tr.Start("c", 0) // want 6 "never ended"
+}
+
+func neverEnded(tr *Tracer) {
+	sp := tr.Start("d", 0) // want 8 "never ended"
+	_ = sp
+}
+
+func properlyEnded(tr *Tracer) {
+	sp := tr.Start("e", 0)
+	sp.End()
+}
+
+func deferredEnd(tr *Tracer) {
+	sp := tr.Start("f", 0)
+	defer sp.End()
+}
+
+func inlineEnd(tr *Tracer) {
+	tr.Start("g", 0).End()
+}
+
+func endedInClosure(tr *Tracer) {
+	sp := tr.Start("h", 0)
+	func() { sp.End() }()
+}
+
+func escapesByReturn(tr *Tracer) Span {
+	sp := tr.Start("i", 0)
+	return sp
+}
+
+func escapesToSink(tr *Tracer, sink func(Span)) {
+	sp := tr.Start("j", 0)
+	sink(sp)
+}
+
+func escapesInline(tr *Tracer, sink func(Span)) {
+	sink(tr.Start("k", 0))
+}
+
+func suppressedLeak(tr *Tracer) {
+	//lint:ignore spanleak fixture: proves the directive silences this line
+	tr.Start("l", 0)
+}
+
+func notATracer(o *Other) {
+	o.Start()
+	_ = o.Start()
+}

@@ -2,7 +2,8 @@
 // FROSTT .tns text format or the repository's .bin binary format (formats
 // are selected by file extension).
 //
-//	tns-tool stat    x.tns                 # shape, nnz, density, per-mode stats
+//	tns-tool stat     x.tns                # shape, nnz, density, per-mode stats
+//	tns-tool describe x.tns                # + occupancy, skew, nnz-per-index histograms
 //	tns-tool head    x.tns -n 20           # first non-zeros
 //	tns-tool sort    x.tns -o sorted.tns   # lexicographic sort
 //	tns-tool permute x.tns -perm 2,0,1 -o p.tns
@@ -32,12 +33,14 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: tns-tool {stat|head|sort|permute|convert|diff} <file> [flags]")
+		return fmt.Errorf("usage: tns-tool {stat|describe|head|sort|permute|convert|diff} <file> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "stat":
 		return statCmd(rest)
+	case "describe":
+		return describeCmd(rest)
 	case "head":
 		return headCmd(rest)
 	case "sort":

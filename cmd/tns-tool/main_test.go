@@ -24,6 +24,9 @@ func TestSubcommands(t *testing.T) {
 	if err := run([]string{"stat", tns}); err != nil {
 		t.Fatalf("stat: %v", err)
 	}
+	if err := run([]string{"describe", tns}); err != nil {
+		t.Fatalf("describe: %v", err)
+	}
 	if err := run([]string{"head", "-n", "3", tns}); err != nil {
 		t.Fatalf("head: %v", err)
 	}
@@ -81,6 +84,9 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"stat", "/nonexistent.tns"}); err == nil {
 		t.Error("missing file accepted")
+	}
+	if err := run([]string{"describe"}); err == nil {
+		t.Error("describe without a file accepted")
 	}
 	if err := run([]string{"sort", "x.tns"}); err == nil {
 		t.Error("sort without -o accepted")

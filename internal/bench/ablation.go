@@ -117,6 +117,8 @@ func Ablation(w io.Writer, c Config) error {
 				Kernel:     core.KernelChained,
 				Threads:    c.Threads,
 				BucketsHtY: buckets,
+				Tracer:     c.Tracer,
+				Metrics:    c.Metrics,
 			})
 			if err != nil {
 				return err

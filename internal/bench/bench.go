@@ -11,6 +11,7 @@ import (
 	"sparta/internal/coo"
 	"sparta/internal/core"
 	"sparta/internal/gen"
+	"sparta/internal/obs"
 )
 
 // Config scales the evaluation. The defaults target seconds-per-experiment
@@ -29,6 +30,12 @@ type Config struct {
 	// Zlocal, Z) on most workloads — the inputs alone exceed it — but not
 	// for everything on output-heavy contractions.
 	DRAMFraction float64
+	// Tracer and Metrics, when non-nil, are threaded into every contraction
+	// the experiments run (sptc-bench -trace / -metrics-addr). Note the
+	// report cache: a cached cell re-emits nothing, so traces show each
+	// distinct contraction once.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // Default returns the standard laptop-scale configuration.
@@ -86,6 +93,8 @@ func (c Config) RunWorkloadKernel(w gen.Workload, alg core.Algorithm, k core.Ker
 		Algorithm: alg,
 		Kernel:    k,
 		Threads:   c.Threads,
+		Tracer:    c.Tracer,
+		Metrics:   c.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -130,6 +130,8 @@ func Fig5(w io.Writer, c Config) error {
 			Algorithm: core.AlgSparta,
 			Threads:   c.Threads,
 			InPlace:   true,
+			Tracer:    c.Tracer,
+			Metrics:   c.Metrics,
 		})
 		if err != nil {
 			return fmt.Errorf("SpTC%d sparta: %w", id, err)

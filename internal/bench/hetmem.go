@@ -107,6 +107,7 @@ func Fig8(w io.Writer, c Config) error {
 	for _, pol := range []hetmem.Policy{hetmem.SpartaStatic{}, hetmem.IAL{}, hetmem.MemoryMode{}, hetmem.OptaneOnly{}} {
 		r := pol.Evaluate(pf, dram)
 		pts := hetmem.BandwidthTrace(r, 20)
+		hetmem.EmitTraceEvents(c.Tracer, r.Policy, pts)
 		fmt.Fprintf(w, "%s (total %v):\n  t(ms):", r.Policy, r.Total)
 		for _, p := range pts {
 			fmt.Fprintf(w, " %7.2f", float64(p.At)/1e6)

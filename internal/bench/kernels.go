@@ -69,6 +69,8 @@ func runKernelCell(c Config, wl gen.Workload, k core.Kernel, threads int) (kerne
 			Algorithm: core.AlgSparta,
 			Kernel:    k,
 			Threads:   threads,
+			Tracer:    c.Tracer,
+			Metrics:   c.Metrics,
 		})
 		if err != nil {
 			return cell, err

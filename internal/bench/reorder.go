@@ -31,7 +31,9 @@ func Reorder(w io.Writer, c Config) error {
 		if err != nil {
 			return err
 		}
-		_, rep0, err := core.Contract(x, x, cx, cy, core.Options{Algorithm: core.AlgSparta, Threads: c.Threads})
+		_, rep0, err := core.Contract(x, x, cx, cy, core.Options{
+			Algorithm: core.AlgSparta, Threads: c.Threads, Tracer: c.Tracer, Metrics: c.Metrics,
+		})
 		if err != nil {
 			return err
 		}
@@ -46,7 +48,9 @@ func Reorder(w io.Writer, c Config) error {
 		if err != nil {
 			return err
 		}
-		_, rep1, err := core.Contract(xr, xr, cx, cy, core.Options{Algorithm: core.AlgSparta, Threads: c.Threads})
+		_, rep1, err := core.Contract(xr, xr, cx, cy, core.Options{
+			Algorithm: core.AlgSparta, Threads: c.Threads, Tracer: c.Tracer, Metrics: c.Metrics,
+		})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"sparta/internal/coo"
 	"sparta/internal/hashtab"
+	"sparta/internal/obs"
 	"sparta/internal/spa"
 )
 
@@ -61,6 +62,12 @@ type worker struct {
 	hits, miss                 uint64
 	products                   uint64
 	spaHits, spaMiss           uint64
+
+	// htyProbe records the probe length of each HtY lookup when metrics are
+	// configured (Options.Metrics); nil otherwise, guarded by one branch in
+	// the search loops. Thread-private like the rest of the worker, merged
+	// into the registry by publishMetrics after the parallel section.
+	htyProbe *obs.HistShard
 }
 
 func makeWorkers(threads int, p *plan, opt Options) []*worker {
@@ -81,6 +88,15 @@ func makeWorkers(threads int, p *plan, opt Options) []*worker {
 		case AlgSPA:
 			w.spa = spa.New(p.nfy)
 		}
+		if opt.Metrics != nil {
+			w.htyProbe = obs.NewHistShard(obs.ProbeBuckets)
+			if w.hta != nil {
+				w.hta.ProbeHist = obs.NewHistShard(obs.ProbeBuckets)
+			}
+			if w.htaF != nil {
+				w.htaF.ProbeHist = obs.NewHistShard(obs.ProbeBuckets)
+			}
+		}
 		ws[i] = w
 	}
 	return ws
@@ -100,6 +116,9 @@ func (w *worker) subSparta(p *plan, xw *coo.Tensor, hty hashtab.YTable, ptrFX []
 		key := p.radC.EncodeStrided(cCols, i)
 		items, probes := hty.Lookup(key)
 		w.probesHtY += uint64(probes)
+		if w.htyProbe != nil {
+			w.htyProbe.Observe(float64(probes))
+		}
 		if items == nil {
 			w.miss++
 			continue

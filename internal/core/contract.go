@@ -6,6 +6,7 @@ import (
 
 	"sparta/internal/coo"
 	"sparta/internal/hashtab"
+	"sparta/internal/obs"
 	"sparta/internal/parallel"
 )
 
@@ -49,6 +50,13 @@ type Options struct {
 	// dwarf both inputs (the paper's challenge 3); the bound is checked
 	// after the compute stages, before Z is materialized.
 	MaxOutputNNZ int
+	// Tracer, when non-nil, records stage spans and per-worker chunk spans
+	// for Chrome trace-event export (sptc-bench -trace). Nil costs nothing.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives counters, gauges, and distribution
+	// histograms (probe lengths, worker load, Zlocal growth) after each
+	// contraction. Nil costs one predictable branch per hot-loop record.
+	Metrics *obs.Registry
 }
 
 // Contract computes Z = X ×_{cmodesX}^{cmodesY} Y with the selected
@@ -91,6 +99,10 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	}
 
 	// ① Input processing -------------------------------------------------
+	// Spans pair with the stage timers; error paths leave a span un-ended,
+	// which the tracer simply never records (End is what appends events).
+	tr := opt.Tracer
+	spInput := tr.Start("input processing", 0)
 	t0 := time.Now()
 	xw := p.x
 	if !opt.InPlace {
@@ -131,12 +143,15 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	}
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
+	spInput.End()
 
 	// ②③④ Computation; chunk < 1 defers the chunk size to ForChunked's
 	// own heuristic (the single source of truth for chunking). -----------
 	ws := makeWorkers(threads, p, opt)
 	nf := rep.NF
+	spCompute := tr.Start("compute", 0)
 	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+		sp := tr.Start("subtensor chunk", tid+1)
 		w := ws[tid]
 		for f := lo; f < hi; f++ {
 			switch opt.Algorithm {
@@ -148,7 +163,9 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 				w.subSPA(p, xw, yw, ptrFX, ptrCY, f)
 			}
 		}
+		sp.End()
 	})
+	spCompute.End()
 	mergeWorkerStats(rep, ws)
 
 	// ④ Writeback: gather thread-local Zlocal into Z ---------------------
@@ -161,12 +178,14 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 			return nil, nil, fmt.Errorf("core: output has %d non-zeros, exceeding MaxOutputNNZ %d", total, opt.MaxOutputNNZ)
 		}
 	}
+	spGather := tr.Start("writeback gather", 0)
 	t0 = time.Now()
 	z, err := gather(p, xw, ptrFX, ws, threads)
 	if err != nil {
 		return nil, nil, err
 	}
 	gatherTime := time.Since(t0)
+	spGather.End()
 	rep.StageWall[StageWrite] += gatherTime
 	rep.StageCPU[StageWrite] += gatherTime
 	rep.NNZZ = z.NNZ()
@@ -178,11 +197,14 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 
 	// ⑤ Output sorting ----------------------------------------------------
 	if !opt.SkipOutputSort {
+		spSort := tr.Start("output sort", 0)
 		t0 = time.Now()
 		z.Sort(threads)
 		rep.StageWall[StageSort] = time.Since(t0)
 		rep.StageCPU[StageSort] = rep.StageWall[StageSort]
+		spSort.End()
 	}
+	publishMetrics(opt.Metrics, rep, ws, nil)
 	return z, rep, nil
 }
 
@@ -204,6 +226,8 @@ func (e errBadKernel) Error() string {
 // table stats plus the build-only wall time (rep.HtYBuild) so kernel duels
 // compare exactly the hash-table work, not X's permute+sort.
 func buildYTable(p *plan, opt Options, threads int, rep *Report) hashtab.YTable {
+	sp := opt.Tracer.Start("hty build", 0)
+	defer sp.End()
 	t0 := time.Now()
 	var hty hashtab.YTable
 	if opt.Kernel == KernelChained {

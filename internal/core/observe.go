@@ -1,0 +1,111 @@
+package core
+
+import (
+	"time"
+
+	"sparta/internal/obs"
+)
+
+// stageKey maps a Stage to its Prometheus label value (short, stable,
+// lowercase — Stage.String() stays the human-facing table label).
+var stageKey = [NumStages]string{
+	StageInput:  "input",
+	StageSearch: "search",
+	StageAccum:  "accum",
+	StageWrite:  "write",
+	StageSort:   "sort",
+}
+
+// publishMetrics folds one finished contraction into the registry: the
+// Report's per-stage wall times and counters, plus the distribution metrics
+// only the workers hold — probe-length shards, per-worker busy time, Zlocal
+// growth, and the resulting load imbalance. symWs carries the two-phase
+// symbolic workers (nil otherwise). Everything here runs once per Contract,
+// after the parallel sections — never on the hot path.
+func publishMetrics(reg *obs.Registry, rep *Report, ws, symWs []*worker) {
+	if reg == nil {
+		return
+	}
+	alg, kern := rep.Algorithm.String(), rep.Kernel.String()
+	reg.Counter("sptc_contractions_total", "contractions completed",
+		"alg", alg, "kernel", kern).Inc()
+	reg.Counter("sptc_threads_used_total", "worker threads summed over contractions").Add(uint64(rep.Threads))
+
+	for s := Stage(0); s < NumStages; s++ {
+		reg.Histogram("sptc_stage_wall_seconds", "wall time per SpTC stage",
+			obs.TimeBuckets, "stage", stageKey[s]).Observe(rep.StageWall[s].Seconds())
+	}
+	if rep.HtYBuild > 0 {
+		reg.Histogram("sptc_hty_build_seconds", "COO Y to HtY conversion wall time",
+			obs.TimeBuckets, "kernel", kern).Observe(rep.HtYBuild.Seconds())
+	}
+	if rep.Symbolic > 0 {
+		reg.Histogram("sptc_symbolic_wall_seconds", "two-phase symbolic phase wall time",
+			obs.TimeBuckets).Observe(rep.Symbolic.Seconds())
+	}
+
+	reg.Counter("sptc_hty_probes_total", "HtY bucket/slot inspections").Add(rep.ProbesHtY)
+	reg.Counter("sptc_hta_probes_total", "HtA chain/slot inspections").Add(rep.ProbesHtA)
+	reg.Counter("sptc_products_total", "scalar multiply-adds", "alg", alg).Add(rep.Products)
+	reg.Counter("sptc_search_steps_total", "baseline COO-Y linear search steps").Add(rep.SearchSteps)
+	reg.Counter("sptc_y_lookups_total", "index-search outcomes", "outcome", "hit").Add(rep.HitsY)
+	reg.Counter("sptc_y_lookups_total", "index-search outcomes", "outcome", "miss").Add(rep.MissY)
+	reg.Counter("sptc_accum_total", "accumulator Add outcomes", "outcome", "hit").Add(rep.AccumHits)
+	reg.Counter("sptc_accum_total", "accumulator Add outcomes", "outcome", "miss").Add(rep.AccumMiss)
+
+	byteGauges := []struct {
+		object string
+		v      uint64
+	}{
+		{"x", rep.BytesX}, {"y", rep.BytesY}, {"hty", rep.BytesHtY},
+		{"hta", rep.BytesHtA}, {"zlocal", rep.BytesZLocal}, {"z", rep.BytesZ},
+	}
+	for _, g := range byteGauges {
+		reg.Gauge("sptc_object_bytes", "memory footprint of the last contraction's objects",
+			"object", g.object).Set(float64(g.v))
+	}
+	reg.Gauge("sptc_output_nnz", "non-zeros of the last output tensor Z").Set(float64(rep.NNZZ))
+
+	htyH := reg.Histogram("sptc_hty_probe_length", "HtY probes per index-search lookup",
+		obs.ProbeBuckets, "kernel", kern)
+	htaH := reg.Histogram("sptc_hta_probe_length", "HtA chain/probe length per accumulate",
+		obs.ProbeBuckets, "kernel", kern)
+	busyH := reg.Histogram("sptc_worker_busy_seconds", "per-worker compute time (search+accum+write)",
+		obs.TimeBuckets)
+	zlocalH := reg.Histogram("sptc_zlocal_bytes", "per-worker Zlocal buffer footprint",
+		obs.ByteBuckets)
+
+	var maxBusy, sumBusy float64
+	mergeWorkers := func(workers []*worker, numeric bool) {
+		for _, w := range workers {
+			htyH.Merge(w.htyProbe)
+			if w.hta != nil {
+				htaH.Merge(w.hta.ProbeHist)
+			}
+			if w.htaF != nil {
+				htaH.Merge(w.htaF.ProbeHist)
+			}
+			if !numeric {
+				continue
+			}
+			busy := time.Duration(w.searchNS + w.accumNS + w.writeNS).Seconds()
+			busyH.Observe(busy)
+			sumBusy += busy
+			if busy > maxBusy {
+				maxBusy = busy
+			}
+			if b := w.z.bytes(); b > 0 {
+				zlocalH.Observe(float64(b))
+			}
+		}
+	}
+	mergeWorkers(ws, true)
+	mergeWorkers(symWs, false)
+
+	// Load imbalance = slowest worker over the mean: 1.0 is a perfect split
+	// of the sub-tensor chunks, 2.0 means one worker did twice its share.
+	if mean := sumBusy / float64(len(ws)); mean > 0 {
+		reg.Gauge("sptc_worker_load_imbalance", "max worker busy time over mean (1.0 = balanced)").
+			Set(maxBusy / mean)
+	}
+}

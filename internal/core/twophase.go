@@ -27,8 +27,10 @@ import (
 // two-phase output allocation. Inputs are pre-validated by Contract.
 func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	threads := rep.Threads
+	tr := opt.Tracer
 
 	// ① Input processing — identical to Sparta's.
+	spInput := tr.Start("input processing", 0)
 	t0 := time.Now()
 	xw := p.x
 	if !opt.InPlace {
@@ -49,6 +51,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	hty := buildYTable(p, opt, threads, rep)
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
+	spInput.End()
 
 	// chunk < 1 defers the chunk size to ForChunked's own heuristic.
 	nf := rep.NF
@@ -57,12 +60,16 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	// --- Symbolic phase: count exact output non-zeros per sub-tensor ----
 	// The symbolic accumulators follow the kernel selector like the
 	// numeric ones (makeWorkers); symWorkers reuses that switch.
+	spSym := tr.Start("symbolic phase", 0)
 	t0 = time.Now()
 	counts := make([]int, nf)
 	symWorkers := makeWorkers(threads, p, Options{
 		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
+		Metrics: opt.Metrics,
 	})
 	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+		sp := tr.Start("symbolic chunk", tid+1)
+		defer sp.End()
 		w := symWorkers[tid]
 		for f := lo; f < hi; f++ {
 			if w.htaF != nil {
@@ -87,6 +94,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		}
 	})
 	rep.Symbolic = time.Since(t0)
+	spSym.End()
 	zoff, total := parallel.PrefixSum(counts)
 	if opt.MaxOutputNNZ > 0 && total > opt.MaxOutputNNZ {
 		return nil, errOutputTooLarge{total, opt.MaxOutputNNZ}
@@ -105,8 +113,12 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	// --- Numeric phase: recompute with values, write straight into Z ----
 	ws := makeWorkers(threads, p, Options{
 		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
+		Metrics: opt.Metrics,
 	})
+	spNum := tr.Start("numeric phase", 0)
 	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+		sp := tr.Start("subtensor chunk", tid+1)
+		defer sp.End()
 		w := ws[tid]
 		buf := make([]uint32, p.nfy)
 		for f := lo; f < hi; f++ {
@@ -117,6 +129,9 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 				key := p.radC.EncodeStrided(cCols, i)
 				items, probes := hty.Lookup(key)
 				w.probesHtY += uint64(probes)
+				if w.htyProbe != nil {
+					w.htyProbe.Observe(float64(probes))
+				}
 				if items == nil {
 					w.miss++
 					continue
@@ -191,6 +206,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 			w.writeNS += int64(time.Since(t))
 		}
 	})
+	spNum.End()
 	mergeWorkerStats(rep, ws)
 	for _, sw := range symWorkers {
 		var b uint64
@@ -210,11 +226,14 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 
 	// ⑤ Output sorting.
 	if !opt.SkipOutputSort {
+		spSort := tr.Start("output sort", 0)
 		t0 = time.Now()
 		z.Sort(threads)
 		rep.StageWall[StageSort] = time.Since(t0)
 		rep.StageCPU[StageSort] = rep.StageWall[StageSort]
+		spSort.End()
 	}
+	publishMetrics(opt.Metrics, rep, ws, symWorkers)
 	return z, nil
 }
 

@@ -1,5 +1,7 @@
 package hashtab
 
+import "sparta/internal/obs"
+
 // HtA is the hash-table-based sparse accumulator of §3.4. It is
 // thread-private (one per worker, reused across sub-tensors), so it needs no
 // locking. Keys are the LN encoding of Y's free indices, taken directly from
@@ -24,6 +26,11 @@ type HtA struct {
 	// Probes counts chain-node inspections, the random-read measure for
 	// the accumulation access profile.
 	Probes uint64
+
+	// ProbeHist, when set, records the chain length walked by each Add into
+	// a per-worker histogram shard (the table is thread-private, so plain
+	// increments suffice). Nil means no distribution tracking.
+	ProbeHist *obs.HistShard
 }
 
 // NewHtA returns an accumulator sized for about capHint distinct keys.
@@ -69,8 +76,14 @@ func (h *HtA) Reset() {
 	h.next = h.next[:0]
 }
 
-// Add accumulates v under key: Lines 12-15 of Algorithm 2.
+// Add accumulates v under key: Lines 12-15 of Algorithm 2. The chain walk
+// here is the seed-shape hot loop; distribution tracking lives in
+// addObserved so the unconfigured path pays only this one entry branch.
 func (h *HtA) Add(key uint64, v float64) {
+	if h.ProbeHist != nil {
+		h.addObserved(key, v)
+		return
+	}
 	b := hashKey(key) & h.mask
 	for e := h.heads[b]; e >= 0; e = h.next[e] {
 		h.Probes++
@@ -80,6 +93,40 @@ func (h *HtA) Add(key uint64, v float64) {
 			return
 		}
 	}
+	h.Misses++
+	e := int32(len(h.keys))
+	h.keys = append(h.keys, key)
+	h.vals = append(h.vals, v)
+	h.next = append(h.next, h.heads[b])
+	h.heads[b] = e
+	if len(h.keys) > len(h.heads) {
+		h.grow()
+	}
+}
+
+// addObserved is Add with the chain length walked recorded into ProbeHist.
+// Probes accounting is identical to the fast path (one count per node
+// inspected); only the per-Add histogram observation is extra.
+func (h *HtA) addObserved(key uint64, v float64) {
+	b := hashKey(key) & h.mask
+	var plen uint64
+	for e := h.heads[b]; e >= 0; e = h.next[e] {
+		plen++
+		if h.keys[e] == key {
+			h.Probes += plen
+			h.ProbeHist.Observe(float64(plen))
+			h.vals[e] += v
+			h.Hits++
+			return
+		}
+	}
+	h.Probes += plen
+	// An insert into an empty bucket walks zero nodes; record it as probe
+	// length 1 so both kernels' histograms share a floor.
+	if plen == 0 {
+		plen = 1
+	}
+	h.ProbeHist.Observe(float64(plen))
 	h.Misses++
 	e := int32(len(h.keys))
 	h.keys = append(h.keys, key)

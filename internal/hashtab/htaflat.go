@@ -1,6 +1,9 @@
 package hashtab
 
-import "sparta/internal/invariant"
+import (
+	"sparta/internal/invariant"
+	"sparta/internal/obs"
+)
 
 // HtAFlat is the open-addressed variant of the sparse accumulator HtA
 // (§3.4): same thread-private usage, same insertion-order keys/vals arrays
@@ -35,6 +38,11 @@ type HtAFlat struct {
 	// Probes counts slot inspections, the random-read measure for the
 	// accumulation access profile (comparable to HtA's chain probes).
 	Probes uint64
+
+	// ProbeHist, when set, records each Add's probe-sequence length into a
+	// per-worker histogram shard (the table is thread-private, so plain
+	// increments suffice). Nil means no distribution tracking.
+	ProbeHist *obs.HistShard
 }
 
 // NewHtAFlat returns an accumulator sized for about capHint distinct keys.
@@ -94,7 +102,11 @@ func (h *HtAFlat) Add(key uint64, v float64) {
 	for {
 		k := h.table[s].key
 		if k == key {
-			h.Probes += ((s - s0) & h.mask) + 1
+			plen := ((s - s0) & h.mask) + 1
+			h.Probes += plen
+			if h.ProbeHist != nil {
+				h.ProbeHist.Observe(float64(plen))
+			}
 			h.vals[h.table[s].idx] += v
 			h.Hits++
 			return
@@ -104,7 +116,11 @@ func (h *HtAFlat) Add(key uint64, v float64) {
 		}
 		s = (s + 1) & h.mask
 	}
-	h.Probes += ((s - s0) & h.mask) + 1
+	plen := ((s - s0) & h.mask) + 1
+	h.Probes += plen
+	if h.ProbeHist != nil {
+		h.ProbeHist.Observe(float64(plen))
+	}
 	h.Misses++
 	h.table[s] = htaSlot{key: key, idx: int32(len(h.keys))}
 	h.keys = append(h.keys, key)

@@ -295,3 +295,84 @@ func TestPatternKind(t *testing.T) {
 		}
 	}
 }
+
+// syntheticResult builds a Result with every stage active and known traffic,
+// for exact-accounting tests of BandwidthTrace.
+func syntheticResult() Result {
+	var r Result
+	durs := []time.Duration{7 * time.Millisecond, 31 * time.Millisecond,
+		13 * time.Millisecond, 3 * time.Millisecond, 11 * time.Millisecond}
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		r.StageTime[s] = durs[s]
+		r.Total += durs[s]
+		r.DRAMBytes[s] = uint64(1000003 * (int(s) + 1))
+		r.PMMBytes[s] = uint64(700001 * (5 - int(s)))
+	}
+	r.MigratedBytes = 2500007
+	return r
+}
+
+// TestBandwidthTracePointCount pins the sample-allocation fix: the trace must
+// contain exactly the requested number of points (the truncating-division
+// version under-allocated), for counts from "fewer than stages" upward.
+func TestBandwidthTracePointCount(t *testing.T) {
+	r := syntheticResult()
+	for _, samples := range []int{1, 3, 5, 7, 19, 20, 50, 100, 997} {
+		pts := BandwidthTrace(r, samples)
+		want := samples
+		if want < int(core.NumStages) {
+			want = int(core.NumStages) // one point per active stage minimum
+		}
+		if len(pts) != want {
+			t.Errorf("samples=%d: got %d points, want %d", samples, len(pts), want)
+		}
+		var last time.Duration
+		for i, p := range pts {
+			if p.At <= last {
+				t.Fatalf("samples=%d: point %d at %v not after %v", samples, i, p.At, last)
+			}
+			last = p.At
+		}
+		if last != r.Total {
+			t.Errorf("samples=%d: last point at %v, want run end %v", samples, last, r.Total)
+		}
+	}
+}
+
+// TestBandwidthTraceByteConservation: integrating bandwidth over the point
+// intervals must recover the demand bytes plus the migration split, per
+// device — the invariant that makes the Fig. 8 trace an honest rendering of
+// the cost model rather than a sketch.
+func TestBandwidthTraceByteConservation(t *testing.T) {
+	r := syntheticResult()
+	for _, samples := range []int{5, 23, 64, 500} {
+		pts := BandwidthTrace(r, samples)
+		var dram, pmm float64
+		var prev time.Duration
+		for _, p := range pts {
+			w := float64(p.At - prev) // ns; bandwidth is bytes/ns
+			dram += p.DRAM * w
+			pmm += p.PMM * w
+			prev = p.At
+		}
+		var wantDRAM, wantPMM float64
+		for s := core.Stage(0); s < core.NumStages; s++ {
+			wantDRAM += float64(r.DRAMBytes[s])
+			wantPMM += float64(r.PMMBytes[s])
+		}
+		wantDRAM += float64(r.MigratedBytes) / 2
+		wantPMM += float64(r.MigratedBytes) / 2
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{{"DRAM", dram, wantDRAM}, {"PMM", pmm, wantPMM}} {
+			diff := c.got - c.want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-6*c.want {
+				t.Errorf("samples=%d: %s bytes %.1f, want %.1f", samples, c.name, c.got, c.want)
+			}
+		}
+	}
+}

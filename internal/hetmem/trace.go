@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sparta/internal/core"
+	"sparta/internal/obs"
 )
 
 // TracePoint is one sample of a Fig. 8-style bandwidth timeline.
@@ -16,7 +17,9 @@ type TracePoint struct {
 // BandwidthTrace expands a policy result into a time series: each stage
 // contributes samples at its average DRAM and PMM bandwidth (demand traffic
 // plus an even share of the policy's migration traffic). samples sets the
-// total number of points across the run.
+// total number of points across the run; each point reports the bandwidth of
+// the interval ending at its timestamp, so intervals tile the run exactly and
+// bandwidth × width sums back to the byte totals.
 func BandwidthTrace(r Result, samples int) []TracePoint {
 	if samples < 1 {
 		samples = 1
@@ -24,34 +27,104 @@ func BandwidthTrace(r Result, samples int) []TracePoint {
 	if r.Total <= 0 {
 		return nil
 	}
-	var pts []TracePoint
-	var at time.Duration
+	// Proportional sample allocation with remainder distribution. Truncating
+	// division alone under-allocates (e.g. five equal stages at samples=20
+	// would emit 20 but three stages of weight 1/3 at samples=20 would emit
+	// 18), so the remainder is handed out largest-interval-first until the
+	// count is exact; every active stage keeps at least one point.
+	type alloc struct {
+		s   core.Stage
+		dur time.Duration
+		n   int
+	}
+	var active []alloc
+	var sumDur time.Duration
+	for s := core.Stage(0); s < core.NumStages; s++ {
+		if r.StageTime[s] > 0 {
+			active = append(active, alloc{s: s, dur: r.StageTime[s]})
+			sumDur += r.StageTime[s]
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+	if samples < len(active) {
+		samples = len(active)
+	}
+	total := 0
+	for i := range active {
+		n := int(int64(samples) * int64(active[i].dur) / int64(sumDur))
+		if n < 1 {
+			n = 1
+		}
+		active[i].n = n
+		total += n
+	}
+	// width(i) = dur/n is the stage's current sampling interval: grow the
+	// coarsest stage, shrink the finest (only while it can spare a point).
+	width := func(a alloc) float64 { return float64(a.dur) / float64(a.n) }
+	for total < samples {
+		best := 0
+		for i := range active {
+			if width(active[i]) > width(active[best]) {
+				best = i
+			}
+		}
+		active[best].n++
+		total++
+	}
+	for total > samples {
+		best := -1
+		for i := range active {
+			if active[i].n > 1 && (best < 0 || width(active[i]) < width(active[best])) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every stage is down to one point
+		}
+		active[best].n--
+		total--
+	}
+
 	var totalBytes uint64
 	for s := core.Stage(0); s < core.NumStages; s++ {
 		totalBytes += r.DRAMBytes[s] + r.PMMBytes[s]
 	}
-	for s := core.Stage(0); s < core.NumStages; s++ {
-		dur := r.StageTime[s]
-		if dur <= 0 {
-			continue
-		}
-		n := int(int64(samples) * int64(dur) / int64(r.Total))
-		if n < 1 {
-			n = 1
-		}
+	pts := make([]TracePoint, 0, total)
+	var start time.Duration
+	for _, a := range active {
 		// Migration traffic splits across stages by their demand share.
 		var mig float64
 		if totalBytes > 0 {
-			mig = float64(r.MigratedBytes) * float64(r.DRAMBytes[s]+r.PMMBytes[s]) / float64(totalBytes)
+			mig = float64(r.MigratedBytes) * float64(r.DRAMBytes[a.s]+r.PMMBytes[a.s]) / float64(totalBytes)
 		}
-		durNS := float64(dur)
-		dramBW := (float64(r.DRAMBytes[s]) + mig/2) / durNS
-		pmmBW := (float64(r.PMMBytes[s]) + mig/2) / durNS
-		step := dur / time.Duration(n)
-		for i := 0; i < n; i++ {
-			at += step
+		durNS := float64(a.dur)
+		dramBW := (float64(r.DRAMBytes[a.s]) + mig/2) / durNS
+		pmmBW := (float64(r.PMMBytes[a.s]) + mig/2) / durNS
+		// Integer subdivision pins the last point to the stage end exactly,
+		// so the point intervals tile [start, start+dur] with no drift.
+		for i := 0; i < a.n; i++ {
+			at := start + time.Duration(int64(a.dur)*int64(i+1)/int64(a.n))
 			pts = append(pts, TracePoint{At: at, DRAM: dramBW, PMM: pmmBW})
 		}
+		start += a.dur
 	}
 	return pts
+}
+
+// EmitTraceEvents re-emits a bandwidth timeline as Chrome trace-event counter
+// tracks ("C" events), so a Fig. 8 timeline renders as a stacked counter next
+// to the span timeline in Perfetto. One track per policy; each sample carries
+// the DRAM and PMM series. A nil tracer is a no-op.
+func EmitTraceEvents(tr *obs.Tracer, policy string, pts []TracePoint) {
+	if tr == nil {
+		return
+	}
+	for _, p := range pts {
+		tr.CounterAt("bandwidth "+policy, p.At, map[string]float64{
+			"dram_gbps": p.DRAM,
+			"pmm_gbps":  p.PMM,
+		})
+	}
 }

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the exposition mux: the registry in Prometheus text format
+// at /metrics, the Go runtime's expvar JSON at /debug/vars, and the pprof
+// profiling handlers under /debug/pprof/ — everything a long benchmark needs
+// to be scraped and profiled live.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsHandler serves the registry in the Prometheus text format.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The connection is gone if this fails; nothing useful to do.
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// Server is a running exposition endpoint (sptc-bench -metrics-addr).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (":9090", "127.0.0.1:0", ...) and serves the
+// exposition mux in the background until Close.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore chunkloop HTTP accept loop, not data-parallel work for parallel.For
+	go func() {
+		// ErrServerClosed after Close is the expected shutdown path; any
+		// earlier error just ends the exposition endpoint, never the run.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0" listeners).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerEndpoints boots the exposition server on an ephemeral port and
+// scrapes every route group: /metrics, /debug/vars, /debug/pprof/.
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sptc_contractions_total", "contractions run").Add(3)
+
+	srv, err := StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	base := "http://" + srv.Addr()
+
+	body := get(t, base+"/metrics")
+	if !strings.Contains(body, "sptc_contractions_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.Contains(get(t, base+"/debug/vars"), "memstats") {
+		t.Error("/debug/vars missing memstats")
+	}
+	if !strings.Contains(get(t, base+"/debug/pprof/"), "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

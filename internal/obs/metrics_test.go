@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to a
+// bound lands in that bound's bucket (inclusive upper limits), anything
+// above the last bound lands in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // <= 1
+		{1.5, 1}, {2, 1}, // <= 2
+		{3, 2}, {4, 2}, // <= 4
+		{4.001, 3}, {100, 3}, {math.Inf(1), 3}, // overflow
+	}
+	for _, c := range cases {
+		if got := bucketOf(bounds, c.v); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+
+	h := newHistogram(bounds)
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	wantCounts := []uint64{3, 2, 2, 3}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != wantCounts[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, got, wantCounts[i])
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("Count() = %d, want 10", h.Count())
+	}
+}
+
+// TestHistogramShardMergeConcurrent is the -race check of the ISSUE: many
+// workers observe into private shards in parallel, then merge into one
+// registry histogram concurrently. Counts and sums must be conserved.
+func TestHistogramShardMergeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("merge_test", "t", ProbeBuckets)
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			sh := NewHistShard(ProbeBuckets)
+			for i := 0; i < perWorker; i++ {
+				sh.Observe(float64(i%140 + 1))
+			}
+			// Interleave direct Observes with the Merge to exercise the
+			// atomic bucket counters from both entry points.
+			h.Observe(float64(w + 1))
+			h.Merge(sh)
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*perWorker+workers); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for i := 0; i < perWorker; i++ {
+		wantSum += float64(i%140 + 1)
+	}
+	wantSum *= workers
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w + 1)
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("merged sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestWritePrometheusGolden pins the full text exposition byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sptc_products_total", "scalar multiply-adds", "alg", "HtY+HtA").Add(42)
+	reg.Gauge("sptc_output_nnz", "non-zeros of the last Z").Set(1234)
+	h := reg.Histogram("sptc_hty_probe_length", "HtY probes per lookup", []float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 9} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP sptc_hty_probe_length HtY probes per lookup
+# TYPE sptc_hty_probe_length histogram
+sptc_hty_probe_length_bucket{le="1"} 2
+sptc_hty_probe_length_bucket{le="2"} 3
+sptc_hty_probe_length_bucket{le="4"} 4
+sptc_hty_probe_length_bucket{le="+Inf"} 5
+sptc_hty_probe_length_sum 16
+sptc_hty_probe_length_count 5
+# HELP sptc_output_nnz non-zeros of the last Z
+# TYPE sptc_output_nnz gauge
+sptc_output_nnz 1234
+# HELP sptc_products_total scalar multiply-adds
+# TYPE sptc_products_total counter
+sptc_products_total{alg="HtY+HtA"} 42
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestNilSafety: the disabled configuration must be inert, not crash.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a", "h").Inc()
+	reg.Gauge("b", "h").Set(1)
+	reg.Histogram("c", "h", ProbeBuckets).Observe(1)
+	if s := reg.Snapshot(); s != nil {
+		t.Errorf("nil registry snapshot = %v", s)
+	}
+	var sh *HistShard
+	sh.Observe(3)
+	if sh.Count() != 0 {
+		t.Error("nil shard counted")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.Merge(NewHistShard(ProbeBuckets))
+	var tr *Tracer
+	sp := tr.Start("x", 0)
+	sp.End()
+	tr.CounterAt("c", 0, map[string]float64{"v": 1})
+	if tr.Len() != 0 {
+		t.Error("nil tracer recorded")
+	}
+}
+
+// TestTypeMismatch: re-registering a name as a different type must yield an
+// inert metric, not corrupt the family.
+func TestTypeMismatch(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "h").Add(7)
+	g := reg.Gauge("m", "h")
+	g.Set(3) // no-op: m is a counter family
+	snaps := reg.Snapshot()
+	if len(snaps) != 1 || snaps[0].Type != "counter" || snaps[0].Value != 7 {
+		t.Fatalf("snapshot after mismatch: %+v", snaps)
+	}
+}
+
+// TestLabelCanonicalization: label order must not split metric identities.
+func TestLabelCanonicalization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "h", "b", "2", "a", "1").Inc()
+	reg.Counter("c", "h", "a", "1", "b", "2").Inc()
+	snaps := reg.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d metrics, want 1 (label order split identity)", len(snaps))
+	}
+	if snaps[0].Labels != `{a="1",b="2"}` || snaps[0].Value != 2 {
+		t.Fatalf("canonical labels: %+v", snaps[0])
+	}
+}

@@ -1,0 +1,22 @@
+// Package obs is Sparta's zero-dependency observability layer: a span/trace
+// recorder exportable as Chrome trace-event JSON (chrome://tracing or
+// Perfetto), a metrics registry (counters, gauges, fixed-bucket histograms)
+// exposable in Prometheus text format, and an HTTP endpoint bundling the
+// registry with net/http/pprof and expvar.
+//
+// The layer is designed around the same principle as internal/invariant:
+// when nothing is configured it must cost (near) nothing. Every type is
+// nil-safe — a nil *Tracer returns no-op spans, a nil *Registry returns nil
+// metrics whose methods are no-ops — so the pipeline threads a single
+// pointer through and hot loops guard recording with one predictable
+// nil-check branch:
+//
+//	if w.htyProbe != nil {
+//		w.htyProbe.Observe(float64(probes))
+//	}
+//
+// Hot-path distributions are recorded into per-worker HistShard values
+// (plain counters, no atomics, no sharing) and merged into the registry's
+// atomic Histograms after the parallel section, mirroring how package core
+// merges worker counters into the Report (mergeWorkerStats).
+package obs

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records spans and counter samples for export in the Chrome
+// trace-event JSON format. A nil *Tracer is valid and records nothing, so
+// instrumented code never branches on configuration — it just calls Start
+// and End.
+//
+// Spans are buffered as matched B/E ("duration begin/end") event pairs;
+// counter samples become "C" events. WriteJSON sorts everything by
+// timestamp, which is the layout chrome://tracing and Perfetto expect.
+type Tracer struct {
+	epoch time.Time
+	mu    sync.Mutex
+	evs   []event
+}
+
+// event is one trace-event record; ts is nanoseconds since the tracer epoch
+// (the JSON encodes microseconds, the format's native unit).
+type event struct {
+	name string
+	ph   byte // 'B', 'E', 'C'
+	tid  int32
+	ts   int64
+	args []counterArg // 'C' events only
+}
+
+type counterArg struct {
+	k string
+	v float64
+}
+
+// NewTracer starts a tracer; all span timestamps are relative to this call.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one in-flight interval. End records it; a Span from a nil Tracer
+// (or the zero Span) ends as a no-op. Every Start must be paired with an
+// End — the sptc-lint spanleak analyzer enforces this statically.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int32
+	start int64
+}
+
+// Start opens a span on the given logical track (tid). Track 0 is the
+// orchestrating goroutine by convention; workers use tid+1.
+func (t *Tracer) Start(name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, tid: int32(tid), start: int64(time.Since(t.epoch))}
+}
+
+// End closes the span, appending its matched B/E event pair.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := int64(time.Since(s.t.epoch))
+	if end < s.start {
+		end = s.start
+	}
+	s.t.mu.Lock()
+	s.t.evs = append(s.t.evs,
+		event{name: s.name, ph: 'B', tid: s.tid, ts: s.start},
+		event{name: s.name, ph: 'E', tid: s.tid, ts: end})
+	s.t.mu.Unlock()
+}
+
+// CounterAt records a counter sample ("C" event) at a fixed offset from the
+// tracer epoch. Each key becomes one series of the counter track — this is
+// how hetmem re-emits Fig. 8 bandwidth timelines next to the span timeline.
+func (t *Tracer) CounterAt(name string, at time.Duration, series map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make([]counterArg, 0, len(series))
+	for k, v := range series {
+		args = append(args, counterArg{k, v})
+	}
+	sort.Slice(args, func(i, j int) bool { return args[i].k < args[j].k })
+	t.mu.Lock()
+	t.evs = append(t.evs, event{name: name, ph: 'C', ts: int64(at), args: args})
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered trace events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}
+
+// jsonEvent is the trace-event wire format. Args uses an ordered map
+// replacement (marshalled by hand below) to keep output deterministic.
+type jsonEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int32           `json:"tid"`
+	Ts   float64         `json:"ts"` // microseconds
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []jsonEvent `json:"traceEvents"`
+	DisplayTimeUnit string      `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports the buffered events as a Chrome trace-event JSON object,
+// sorted by timestamp (stable, so a nested span's E precedes its parent's E
+// when they coincide).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}` + "\n"))
+		return err
+	}
+	t.mu.Lock()
+	evs := make([]event, len(t.evs))
+	copy(evs, t.evs)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+
+	out := traceFile{TraceEvents: make([]jsonEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+	for _, e := range evs {
+		je := jsonEvent{
+			Name: e.name,
+			Ph:   string(rune(e.ph)),
+			Pid:  1,
+			Tid:  e.tid,
+			Ts:   float64(e.ts) / 1e3,
+		}
+		if len(e.args) > 0 {
+			var b []byte
+			b = append(b, '{')
+			for i, a := range e.args {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				kb, err := json.Marshal(a.k)
+				if err != nil {
+					return err
+				}
+				vb, err := json.Marshal(a.v)
+				if err != nil {
+					return err
+				}
+				b = append(b, kb...)
+				b = append(b, ':')
+				b = append(b, vb...)
+			}
+			b = append(b, '}')
+			je.Args = b
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile exports the trace to a file (the sptc-bench -trace flag).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

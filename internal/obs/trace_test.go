@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// decodedEvent mirrors the trace-event wire format for schema checking.
+type decodedEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Pid  int                `json:"pid"`
+	Tid  int32              `json:"tid"`
+	Ts   float64            `json:"ts"`
+	Args map[string]float64 `json:"args"`
+}
+
+type decodedTrace struct {
+	TraceEvents     []decodedEvent `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+}
+
+// TestTraceJSONSchema is the ISSUE's schema check: the export must be valid
+// JSON, timestamps must be monotonically non-decreasing, and every B must
+// have a matching E on the same track, properly nested.
+func TestTraceJSONSchema(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Start("contract", 0)
+	for w := 0; w < 3; w++ {
+		sp := tr.Start("subtensor chunk", w+1)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	stage := tr.Start("accumulation", 0)
+	stage.End()
+	outer.End()
+	tr.CounterAt("bandwidth", 2*time.Millisecond, map[string]float64{"dram_gbps": 12.5, "pmm_gbps": 3.25})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dec decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &dec); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if dec.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", dec.DisplayTimeUnit)
+	}
+	if len(dec.TraceEvents) != 11 { // 5 spans x (B+E) + 1 counter
+		t.Fatalf("got %d events, want 11", len(dec.TraceEvents))
+	}
+
+	lastTs := -1.0
+	open := map[int32][]string{} // per-track stack of open span names
+	counters := 0
+	for i, e := range dec.TraceEvents {
+		if e.Ts < lastTs {
+			t.Fatalf("event %d: ts %v < previous %v (not monotonic)", i, e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+		switch e.Ph {
+		case "B":
+			open[e.Tid] = append(open[e.Tid], e.Name)
+		case "E":
+			st := open[e.Tid]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on tid %d with no open span", i, e.Name, e.Tid)
+			}
+			if top := st[len(st)-1]; top != e.Name {
+				t.Fatalf("event %d: E %q does not match open span %q (bad nesting)", i, e.Name, top)
+			}
+			open[e.Tid] = st[:len(st)-1]
+		case "C":
+			counters++
+			if e.Args["dram_gbps"] != 12.5 || e.Args["pmm_gbps"] != 3.25 {
+				t.Errorf("counter args = %v", e.Args)
+			}
+		default:
+			t.Fatalf("event %d: unknown ph %q", i, e.Ph)
+		}
+		if e.Pid != 1 {
+			t.Errorf("event %d: pid = %d, want 1", i, e.Pid)
+		}
+	}
+	for tid, st := range open {
+		if len(st) != 0 {
+			t.Errorf("tid %d: unmatched B events %v", tid, st)
+		}
+	}
+	if counters != 1 {
+		t.Errorf("got %d counter events, want 1", counters)
+	}
+}
+
+// TestTraceNilExport: a nil tracer still writes a loadable (empty) trace.
+func TestTraceNilExport(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dec decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &dec); err != nil {
+		t.Fatalf("nil export invalid: %v", err)
+	}
+	if len(dec.TraceEvents) != 0 {
+		t.Errorf("nil tracer exported %d events", len(dec.TraceEvents))
+	}
+}
+
+// TestTraceWriteFile round-trips through the -trace flag's file path.
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("x", 0)
+	sp.End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec decodedTrace
+	if err := json.Unmarshal(b, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.TraceEvents) != 2 {
+		t.Errorf("got %d events, want 2", len(dec.TraceEvents))
+	}
+}

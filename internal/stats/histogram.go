@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderHistogram writes a fixed-bucket histogram as a text table: one row
+// per bucket with its count, share, cumulative share, and a proportional bar.
+// bounds are inclusive upper limits; counts must have len(bounds)+1 entries
+// (the last is the overflow bucket), matching the obs registry's snapshots.
+// Empty histograms render as a single note instead of an all-zero table.
+func RenderHistogram(w io.Writer, title string, bounds []float64, counts []uint64) {
+	var total, max uint64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Fprintf(w, "%s (n=%d)\n", title, total)
+	if total == 0 {
+		fmt.Fprintln(w, "  (no observations)")
+		return
+	}
+	const barWidth = 30
+	t := NewTable("bucket", "count", "%", "cum%", "")
+	var cum uint64
+	for i, c := range counts {
+		label := "all"
+		switch {
+		case i < len(bounds):
+			label = "<= " + FormatFloat(bounds[i])
+		case len(bounds) > 0:
+			label = "> " + FormatFloat(bounds[len(bounds)-1])
+		}
+		cum += c
+		bar := strings.Repeat("#", int(uint64(barWidth)*c/max))
+		t.Row(label, c,
+			fmt.Sprintf("%5.1f", 100*float64(c)/float64(total)),
+			fmt.Sprintf("%5.1f", 100*float64(cum)/float64(total)),
+			bar)
+	}
+	t.Render(w)
+}

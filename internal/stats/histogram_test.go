@@ -1,0 +1,30 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderHistogram(t *testing.T) {
+	var b strings.Builder
+	RenderHistogram(&b, "probe length", []float64{1, 2, 4}, []uint64{6, 3, 0, 1})
+	out := b.String()
+	for _, want := range []string{
+		"probe length (n=10)",
+		"<= 1", "<= 2", "<= 4", "> 4",
+		"60.0", "30.0", "100.0",
+		"##############################", // the max bucket gets a full bar
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderHistogramEmpty(t *testing.T) {
+	var b strings.Builder
+	RenderHistogram(&b, "empty", []float64{1, 2}, []uint64{0, 0, 0})
+	if !strings.Contains(b.String(), "no observations") {
+		t.Errorf("empty histogram rendered a table:\n%s", b.String())
+	}
+}
