@@ -34,10 +34,12 @@ verify:
 bench:
 	$(GO) run ./cmd/sptc-bench -exp kernels
 
-# bench-json regenerates the committed BENCH_1.json at the repo root
-# (scale 20000 so every cell's work dwarfs scheduling noise).
+# bench-json regenerates the committed BENCH_*.json files at the repo root
+# (scale 20000 so every cell's work dwarfs scheduling noise): BENCH_1.json is
+# the hash-kernel duel, BENCH_2.json the sort/fused-writeback duel.
 bench-json:
 	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -json BENCH_1.json
+	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -json BENCH_2.json
 
 clean:
 	$(GO) clean ./...

@@ -60,6 +60,7 @@ var experiments = []struct {
 	{"search", "Y index-search structure comparison (COO/CSF/HtY)", bench.SearchAblation},
 	{"duel", "stage-by-stage algorithm comparison on one workload", bench.Duel},
 	{"kernels", "hash-kernel duel: chained (seed) vs flat open addressing", runKernels},
+	{"sort", "sort duel: quicksort vs radix, unfused vs fused writeback", runSort},
 	{"twophase", "symbolic+numeric two-phase SpTC vs Sparta's dynamic allocation", bench.TwoPhase},
 	{"formats", "storage formats: COO vs CSF vs HiCOO footprint and scan", bench.Formats},
 	{"reorder", "frequency index reordering: block density and Sparta time", bench.Reorder},
@@ -76,7 +77,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/pprof, /debug/vars on this address")
 		hold        = flag.Duration("hold", 0, "keep serving -metrics-addr this long after the experiments finish")
 	)
-	flag.StringVar(&kernelsJSON, "json", "", "for -exp kernels: also write the duel rows to this JSON file")
+	flag.StringVar(&duelJSON, "json", "", "for -exp kernels/sort: also write the duel rows to this JSON file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac}
@@ -170,13 +171,18 @@ func printHistograms(w io.Writer, reg *obs.Registry) {
 	}
 }
 
-// kernelsJSON is the -json flag: when set, the kernels experiment also
-// persists its rows (this is how BENCH_1.json at the repo root is produced:
-// sptc-bench -exp kernels -json BENCH_1.json).
-var kernelsJSON string
+// duelJSON is the -json flag: when set, the kernels and sort experiments
+// also persist their rows (this is how BENCH_1.json and BENCH_2.json at the
+// repo root are produced: sptc-bench -exp kernels -json BENCH_1.json and
+// sptc-bench -exp sort -json BENCH_2.json).
+var duelJSON string
 
 func runKernels(w io.Writer, cfg bench.Config) error {
-	return bench.KernelsJSON(w, cfg, kernelsJSON)
+	return bench.KernelsJSON(w, cfg, duelJSON)
+}
+
+func runSort(w io.Writer, cfg bench.Config) error {
+	return bench.SortJSON(w, cfg, duelJSON)
 }
 
 func runTable3(w io.Writer, cfg bench.Config) error {

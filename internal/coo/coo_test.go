@@ -367,3 +367,64 @@ func TestStringer(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+// TestSortWithEnginesAgree: the seed quicksort and the radix engine must
+// produce byte-identical tensors — same coordinates AND same value order at
+// duplicate coordinates (both orders are (key, original position)). Dims
+// include an LN boundary case: a product one step under 2^64 keeps the
+// radix on the LN path with every key byte significant.
+func TestSortWithEnginesAgree(t *testing.T) {
+	shapes := [][]uint64{
+		{17, 13, 11},
+		{1 << 20, 3},
+		{1 << 31, 1 << 31, 3}, // card = 3*2^62, just under 2^64: top byte significant
+	}
+	for si, dims := range shapes {
+		for _, nnz := range []int{0, 1, 500, 20000} {
+			for _, threads := range []int{1, 4} {
+				q := randomTensor(t, dims, nnz, int64(70+si))
+				r := q.Clone()
+				if info := q.SortWith(threads, SortQuick); info.Radix {
+					t.Fatalf("shape %d: SortQuick took the radix path", si)
+				}
+				info := r.SortWith(threads, SortRadix)
+				if nnz >= 2 && !info.Radix {
+					t.Fatalf("shape %d: SortRadix fell back for LN-encodable dims", si)
+				}
+				if !q.Equal(r) {
+					t.Fatalf("shape %d nnz=%d threads=%d: engines disagree", si, nnz, threads)
+				}
+				checkSorted(t, r)
+			}
+		}
+	}
+}
+
+// TestSortWithDuplicateCoordinates: duplicates are the stability stress —
+// both engines must keep the original value order at equal keys.
+func TestSortWithDuplicateCoordinates(t *testing.T) {
+	mk := func() *Tensor {
+		ten := MustNew([]uint64{3, 3}, 0)
+		for i := 0; i < 4000; i++ {
+			ten.Append([]uint32{uint32(i) % 3, uint32(i/7) % 3}, float64(i))
+		}
+		return ten
+	}
+	q, r := mk(), mk()
+	q.SortWith(2, SortQuick)
+	r.SortWith(2, SortRadix)
+	if !q.Equal(r) {
+		t.Fatal("engines disagree on duplicate-coordinate value order")
+	}
+}
+
+// TestSortWithFallbackInfo: non-LN-encodable dims report a non-radix sort
+// regardless of the requested engine.
+func TestSortWithFallbackInfo(t *testing.T) {
+	dims := []uint64{1 << 31, 1 << 31, 1 << 31}
+	ten := randomTensor(t, dims, 300, 5)
+	if info := ten.SortWith(2, SortRadix); info.Radix {
+		t.Fatal("radix reported on a non-LN-encodable box")
+	}
+	checkSorted(t, ten)
+}

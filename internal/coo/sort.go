@@ -1,33 +1,65 @@
 package coo
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"sparta/internal/lnum"
 	"sparta/internal/parallel"
+	"sparta/internal/sortx"
 )
 
-// Sort orders the non-zeros lexicographically over the current mode order
-// using the parallel quicksort from §3.5 (OpenMP tasks in the paper, a
-// depth-budgeted goroutine fan-out here).
+// SortAlgo selects the engine behind Sort/SortWith.
+type SortAlgo int
+
+const (
+	// SortAuto picks the sortx radix engine whenever the index box is
+	// LN-encodable and the comparison quicksort otherwise — the default
+	// for every production call site.
+	SortAuto SortAlgo = iota
+	// SortQuick forces the depth-budgeted comparison quicksort (the seed
+	// sorter), kept selectable for the sptc-bench -exp sort duel.
+	SortQuick
+	// SortRadix behaves like SortAuto but states the intent: the radix
+	// engine, with the tuple quicksort only for non-LN-encodable boxes
+	// (radix needs a single-word key).
+	SortRadix
+)
+
+// SortInfo reports which engine a SortWith call used.
+type SortInfo struct {
+	Radix bool        // the sortx radix path ran
+	Stats sortx.Stats // radix pass/partition stats (zero value otherwise)
+}
+
+// Sort orders the non-zeros lexicographically over the current mode order.
 //
 // When the full index box fits in a uint64 the sorter takes the LN fast
-// path: encode each coordinate once, sort (key, position) pairs, then apply
-// the permutation to every column — one O(order) gather per element instead
-// of O(order) work per comparison. Otherwise it falls back to an in-place
-// multi-column quicksort.
+// path: encode each coordinate once, sort (key, position) pairs with the
+// parallel radix engine (package sortx), then apply the permutation to
+// every column — one O(order) gather per element instead of O(order) work
+// per comparison. Otherwise it falls back to the in-place multi-column
+// parallel quicksort from §3.5 (OpenMP tasks in the paper, a depth-budgeted
+// goroutine fan-out here).
 func (t *Tensor) Sort(threads int) {
+	t.SortWith(threads, SortAuto)
+}
+
+// SortWith is Sort with an explicit engine selection, returning which one
+// ran; the sptc-bench -exp sort duel uses it to A/B the seed quicksort
+// against the radix engine on identical inputs.
+func (t *Tensor) SortWith(threads int, algo SortAlgo) SortInfo {
 	n := t.NNZ()
 	if n < 2 {
-		return
+		return SortInfo{}
 	}
 	if r, err := lnum.NewRadix(t.Dims); err == nil {
-		t.sortByKeys(r, threads)
-		return
+		return t.sortByKeys(r, threads, algo)
 	}
 	fo := parallel.NewFanout(threads)
 	quickSortTensor(t, 0, n, fo, maxDepth(n))
 	fo.Wait()
+	return SortInfo{}
 }
 
 // IsSorted reports whether the non-zeros are in lexicographic order.
@@ -40,23 +72,29 @@ func (t *Tensor) IsSorted() bool {
 	return true
 }
 
-// keyPos pairs an LN-encoded coordinate with its original position.
-type keyPos struct {
-	key uint64
-	pos int32
-}
+// keyPos pairs an LN-encoded coordinate with its original position; the
+// radix engine owns the layout so the kp slice crosses into sortx without
+// conversion.
+type keyPos = sortx.KeyPos
 
-func (t *Tensor) sortByKeys(r *lnum.Radix, threads int) {
+func (t *Tensor) sortByKeys(r *lnum.Radix, threads int, algo SortAlgo) SortInfo {
 	n := t.NNZ()
 	kp := make([]keyPos, n)
 	parallel.For(threads, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			kp[i] = keyPos{r.EncodeStrided(t.Inds, i), int32(i)}
+			kp[i] = keyPos{Key: r.EncodeStrided(t.Inds, i), Pos: int32(i)}
 		}
 	})
-	fo := parallel.NewFanout(threads)
-	quickSortKeys(kp, fo, maxDepth(n))
-	fo.Wait()
+	var info SortInfo
+	if algo == SortQuick {
+		fo := parallel.NewFanout(threads)
+		quickSortKeys(kp, fo, maxDepth(n))
+		fo.Wait()
+	} else {
+		// Pos starts as 0,1,2,..., so the stable radix sort lands on the
+		// exact (key, pos) order the quicksort's tie-break produces.
+		info = SortInfo{Radix: true, Stats: sortx.Sort(kp, r.Card()-1, threads)}
+	}
 	// Apply the permutation column by column (parallel across columns and
 	// within each column's gather).
 	for m := range t.Inds {
@@ -64,7 +102,7 @@ func (t *Tensor) sortByKeys(r *lnum.Radix, threads int) {
 		dst := make([]uint32, n)
 		parallel.For(threads, n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				dst[i] = src[kp[i].pos]
+				dst[i] = src[kp[i].Pos]
 			}
 		})
 		t.Inds[m] = dst
@@ -73,10 +111,11 @@ func (t *Tensor) sortByKeys(r *lnum.Radix, threads int) {
 	dstV := make([]float64, n)
 	parallel.For(threads, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			dstV[i] = srcV[kp[i].pos]
+			dstV[i] = srcV[kp[i].Pos]
 		}
 	})
 	t.Vals = dstV
+	return info
 }
 
 // maxDepth mirrors sort.Slice's 2*ceil(log2(n)) introsort budget: beyond it
@@ -96,13 +135,21 @@ const insertionCutoff = 16   // below this, insertion sort
 // lessKP orders by key with the original position as tie-break, making the
 // key-path sort stable (duplicate coordinates keep their value order).
 func lessKP(a, b keyPos) bool {
-	return a.key < b.key || (a.key == b.key && a.pos < b.pos)
+	return a.Key < b.Key || (a.Key == b.Key && a.Pos < b.Pos)
+}
+
+// cmpKP is lessKP as a three-way comparison for the stdlib fallback.
+func cmpKP(a, b keyPos) int {
+	if c := cmp.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Pos, b.Pos)
 }
 
 func quickSortKeys(a []keyPos, fo *parallel.Fanout, depth int) {
 	for len(a) > insertionCutoff {
 		if depth == 0 {
-			sort.Slice(a, func(i, j int) bool { return lessKP(a[i], a[j]) })
+			slices.SortFunc(a, cmpKP)
 			return
 		}
 		depth--
@@ -160,7 +207,8 @@ func insertionSortKeys(a []keyPos) {
 	}
 }
 
-// quickSortTensor sorts t[lo:hi) in place comparing full index tuples.
+// quickSortTensor sorts t[lo:hi) in place comparing full index tuples —
+// the fallback for index boxes whose cardinality overflows uint64.
 func quickSortTensor(t *Tensor, lo, hi int, fo *parallel.Fanout, depth int) {
 	for hi-lo > insertionCutoff {
 		if depth == 0 {
@@ -222,7 +270,7 @@ func sortStdlibRange(t *Tensor, lo, hi int) {
 	for i := range idx {
 		idx[i] = lo + i
 	}
-	sort.Slice(idx, func(a, b int) bool { return t.Less(idx[a], idx[b]) })
+	slices.SortFunc(idx, func(a, b int) int { return t.Compare(a, b) })
 	// apply permutation within the range
 	order := len(t.Dims)
 	tmpI := make([][]uint32, order)

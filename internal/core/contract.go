@@ -8,6 +8,7 @@ import (
 	"sparta/internal/hashtab"
 	"sparta/internal/obs"
 	"sparta/internal/parallel"
+	"sparta/internal/sortx"
 )
 
 // Options configures a contraction. The zero value is the paper's default
@@ -23,6 +24,13 @@ type Options struct {
 	// SkipOutputSort leaves Z unsorted (stage ⑤ is on by default, as in
 	// the paper's evaluation).
 	SkipOutputSort bool
+	// UnfusedWriteback restores the seed writeback: gather Zlocal in worker
+	// order, then run the full stage-⑤ sort over Z. The default (false)
+	// fuses ordering into the gather — Zlocal runs scatter to f-ordered
+	// destinations and each run is radix-sorted by LN(Fy) in place, so Z
+	// comes out sorted and stage ⑤ is a no-op. Kept selectable for the
+	// sptc-bench -exp sort duel and as a belt-and-braces escape hatch.
+	UnfusedWriteback bool
 	// InPlace lets the algorithm permute and sort the caller's tensors
 	// instead of cloning them, saving one copy of each input.
 	InPlace bool
@@ -111,7 +119,9 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	if err := xw.Permute(p.permX); err != nil {
 		return nil, nil, err
 	}
-	xw.Sort(threads)
+	spXSort := tr.Start("x sort", 0)
+	rep.XSort = xw.SortWith(threads, coo.SortAuto)
+	spXSort.End()
 	ptrFX, err := xw.SubPtr(p.nfx)
 	if err != nil {
 		return nil, nil, err
@@ -150,7 +160,7 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	ws := makeWorkers(threads, p, opt)
 	nf := rep.NF
 	spCompute := tr.Start("compute", 0)
-	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("subtensor chunk", tid+1)
 		w := ws[tid]
 		for f := lo; f < hi; f++ {
@@ -178,9 +188,15 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 			return nil, nil, fmt.Errorf("core: output has %d non-zeros, exceeding MaxOutputNNZ %d", total, opt.MaxOutputNNZ)
 		}
 	}
+	fused := !opt.UnfusedWriteback
 	spGather := tr.Start("writeback gather", 0)
 	t0 = time.Now()
-	z, err := gather(p, xw, ptrFX, ws, threads)
+	var z *coo.Tensor
+	if fused {
+		z, err = gatherFused(p, xw, ptrFX, ws, rep)
+	} else {
+		z, err = gather(p, xw, ptrFX, ws, threads)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -195,8 +211,11 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 			hashtab.NextPow2(rep.MaxSubNNZY), rep.MaxSubNNZX, rep.MaxSubNNZY, p.nfy)
 	}
 
-	// ⑤ Output sorting ----------------------------------------------------
-	if !opt.SkipOutputSort {
+	// ⑤ Output sorting: the fused gather already produced Z in lexicographic
+	// order (f-ordered scatter + per-run LN(Fy) sorts), so the stage runs
+	// only on the unfused path. The residual per-run sort time is reported
+	// separately as rep.SubsortWall, charged to StageWrite where it ran.
+	if !opt.SkipOutputSort && !fused {
 		spSort := tr.Start("output sort", 0)
 		t0 = time.Now()
 		z.Sort(threads)
@@ -291,6 +310,99 @@ func gather(p *plan, xw *coo.Tensor, ptrFX []int, ws []*worker, threads int) (*c
 			}
 		}
 	})
+	return z, nil
+}
+
+// gatherFused is the sort-fused writeback: it allocates Z exactly like
+// gather, but scatters each sub-tensor's run to a destination computed from
+// the sub-tensor id f — a prefix sum over per-f output counts — instead of
+// worker order, after radix-sorting the run by LN(Fy) in place.
+//
+// Why that yields a fully sorted Z: X is sorted, so ascending f enumerates
+// the distinct free-X tuples in lexicographic order; within one f the free-X
+// columns are constant and the accumulator keys (unique per run) sort the
+// free-Y columns. Every f is processed by exactly one worker, so the per-f
+// counts never collide. Stage ⑤ on this path is the per-run sorts, reported
+// as rep.SubsortWall (max across workers, as stage walls are).
+func gatherFused(p *plan, xw *coo.Tensor, ptrFX []int, ws []*worker, rep *Report) (*coo.Tensor, error) {
+	nf := len(ptrFX) - 1
+	counts := make([]int, nf)
+	for _, w := range ws {
+		for _, sub := range w.z.subs {
+			counts[sub.f] = int(sub.n)
+		}
+	}
+	offsets, total := parallel.PrefixSum(counts)
+	z, err := coo.New(p.zdims, 0)
+	if err != nil {
+		return nil, err
+	}
+	for m := range z.Inds {
+		z.Inds[m] = make([]uint32, total)
+	}
+	z.Vals = make([]float64, total)
+
+	var maxKey uint64
+	if c := p.radFY.Card(); c > 0 {
+		maxKey = c - 1
+	}
+	xCols := xw.Inds[:p.nfx]
+	subsortNS := make([]int64, len(ws))
+	parallel.For(len(ws), len(ws), func(_, wlo, whi int) {
+		buf := make([]uint32, p.nfy)
+		var sk []uint64
+		var sv []float64
+		for wi := wlo; wi < whi; wi++ {
+			w := ws[wi]
+			// Pass 1: sort every run by LN(Fy). Timed as a block so the
+			// residual stage-⑤ cost is exact without per-run clock calls.
+			// Runs are mostly tiny (output nnz over nf is often ~2), so
+			// one- and two-element runs are handled inline and longer runs
+			// only enter SortPairs when a cheap sweep finds them unsorted
+			// (HtY item lists frequently come out of the build key-ordered).
+			t0 := time.Now()
+			lns, vals := w.z.lns, w.z.vals
+			k := 0
+			for _, sub := range w.z.subs {
+				n := int(sub.n)
+				switch {
+				case n < 2:
+				case n == 2:
+					if lns[k] > lns[k+1] {
+						lns[k], lns[k+1] = lns[k+1], lns[k]
+						vals[k], vals[k+1] = vals[k+1], vals[k]
+					}
+				default:
+					sortx.SortPairs(lns[k:k+n], vals[k:k+n], maxKey, &sk, &sv)
+				}
+				k += n
+			}
+			subsortNS[wi] = int64(time.Since(t0))
+			// Pass 2: scatter the sorted runs to their f-ordered slots.
+			k = 0
+			for _, sub := range w.z.subs {
+				xAt := ptrFX[sub.f]
+				pos := offsets[sub.f]
+				for j := 0; j < int(sub.n); j++ {
+					for m := 0; m < p.nfx; m++ {
+						z.Inds[m][pos] = xCols[m][xAt]
+					}
+					p.radFY.Decode(w.z.lns[k], buf)
+					for m := 0; m < p.nfy; m++ {
+						z.Inds[p.nfx+m][pos] = buf[m]
+					}
+					z.Vals[pos] = w.z.vals[k]
+					pos++
+					k++
+				}
+			}
+		}
+	})
+	for _, ns := range subsortNS {
+		if d := time.Duration(ns); d > rep.SubsortWall {
+			rep.SubsortWall = d
+		}
+	}
 	return z, nil
 }
 

@@ -66,6 +66,25 @@ func publishMetrics(reg *obs.Registry, rep *Report, ws, symWs []*worker) {
 	}
 	reg.Gauge("sptc_output_nnz", "non-zeros of the last output tensor Z").Set(float64(rep.NNZZ))
 
+	// Radix-sort engine telemetry (stage ①): partition count plus a skew
+	// ratio — largest MSD partition over the perfectly balanced share, so
+	// 1.0 means uniform key bytes and 256.0 means one byte value held every
+	// key. Pass counters expose how much the constant-byte skip saves.
+	if st := rep.XSort.Stats; rep.XSort.Radix {
+		reg.Counter("sptc_sort_radix_passes_total", "radix byte passes executed by the X sort").Add(uint64(st.Passes))
+		reg.Counter("sptc_sort_radix_skipped_total", "radix byte passes skipped as constant").Add(uint64(st.Skipped))
+		if st.Partitions > 0 && rep.NNZX > 0 {
+			reg.Gauge("sptc_sort_partitions", "non-empty MSD partitions in the last X sort").
+				Set(float64(st.Partitions))
+			reg.Gauge("sptc_sort_partition_skew", "largest MSD partition over the balanced share (1.0 = uniform)").
+				Set(float64(st.MaxRun) * float64(st.Partitions) / float64(rep.NNZX))
+		}
+	}
+	if rep.SubsortWall > 0 {
+		reg.Histogram("sptc_fused_subsort_seconds", "per-run LN(Fy) sort time inside the fused writeback",
+			obs.TimeBuckets).Observe(rep.SubsortWall.Seconds())
+	}
+
 	htyH := reg.Histogram("sptc_hty_probe_length", "HtY probes per index-search lookup",
 		obs.ProbeBuckets, "kernel", kern)
 	htaH := reg.Histogram("sptc_hta_probe_length", "HtA chain/probe length per accumulate",

@@ -212,6 +212,64 @@ func TestLNOverflowRejected(t *testing.T) {
 	}
 }
 
+// TestFusedWritebackMatchesSeed: the sort-fused gather must produce EXACTLY
+// the tensor the seed pipeline produced — unfused worker-order gather
+// followed by the full quicksort stage ⑤. Equality is bitwise (coo.Equal),
+// not approximate: fused vs unfused move the same accumulated values, they
+// never recombine them. Swept across algorithms, kernels, thread counts, and
+// shapes including scalar outputs and free-side-only Y.
+func TestFusedWritebackMatchesSeed(t *testing.T) {
+	type shape struct {
+		xd, yd []uint64
+		cx, cy []int
+	}
+	shapes := []shape{
+		{[]uint64{5, 6, 4, 3}, []uint64{4, 3, 7}, []int{2, 3}, []int{0, 1}},
+		{[]uint64{8, 9}, []uint64{9, 7}, []int{1}, []int{0}},
+		{[]uint64{4, 5, 3, 6}, []uint64{6, 2, 5}, []int{3, 1}, []int{0, 2}},
+		{[]uint64{3, 20}, []uint64{20}, []int{1}, []int{0}},        // Z has no Y modes
+		{[]uint64{6, 5}, []uint64{5, 6}, []int{0, 1}, []int{1, 0}}, // scalar Z
+		{[]uint64{20}, []uint64{20, 9, 8}, []int{0}, []int{0}},     // Z has no X modes
+	}
+	for si, s := range shapes {
+		x := randomSparse(s.xd, 40*len(s.xd), int64(1700+si))
+		y := randomSparse(s.yd, 30*len(s.yd), int64(1800+si))
+		for _, alg := range []Algorithm{AlgSPA, AlgCOOHtA, AlgSparta} {
+			for _, kern := range []Kernel{KernelFlat, KernelChained} {
+				for _, threads := range []int{1, 4} {
+					fused, repF, err := Contract(x, y, s.cx, s.cy, Options{
+						Algorithm: alg, Kernel: kern, Threads: threads,
+					})
+					if err != nil {
+						t.Fatalf("shape %d %v fused: %v", si, alg, err)
+					}
+					// Seed path: unfused gather, then the seed quicksort.
+					seed, repU, err := Contract(x, y, s.cx, s.cy, Options{
+						Algorithm: alg, Kernel: kern, Threads: threads,
+						UnfusedWriteback: true, SkipOutputSort: true,
+					})
+					if err != nil {
+						t.Fatalf("shape %d %v unfused: %v", si, alg, err)
+					}
+					seed.SortWith(threads, coo.SortQuick)
+					if !fused.IsSorted() {
+						t.Fatalf("shape %d %v %v threads=%d: fused Z not sorted",
+							si, alg, kern, threads)
+					}
+					if !fused.Equal(seed) {
+						t.Fatalf("shape %d %v %v threads=%d: fused Z differs from seed pipeline",
+							si, alg, kern, threads)
+					}
+					if repU.SubsortWall != 0 {
+						t.Fatalf("unfused path reported a fused subsort time: %v", repU.SubsortWall)
+					}
+					_ = repF // SubsortWall can legitimately round to 0 on tiny inputs
+				}
+			}
+		}
+	}
+}
+
 // TestDuplicateInputCoordinates: inputs with repeated coordinates are legal
 // COO (values accumulate implicitly through the products).
 func TestDuplicateInputCoordinates(t *testing.T) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"sparta/internal/coo"
 )
 
 // Algorithm selects the SpTC variant, numbered like the artifact's
@@ -116,6 +118,13 @@ type Report struct {
 	// rest of StageInput (X permute+sort) so kernel duels compare exactly
 	// the hash-table work.
 	HtYBuild time.Duration
+	// XSort reports which engine sorted X in stage ① and, on the radix
+	// path, its partition/pass stats (feeds the sptc_sort_* skew metrics).
+	XSort coo.SortInfo
+	// SubsortWall is the residual stage-⑤ cost on the fused-writeback
+	// path: the per-run LN(Fy) sorts inside the gather, max across workers.
+	// Zero on the unfused path (where StageSort holds the full Z sort).
+	SubsortWall time.Duration
 
 	// StageWall approximates the wall-clock time of each stage. For the
 	// three computation stages, which interleave inside the parallel

@@ -39,7 +39,9 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	if err := xw.Permute(p.permX); err != nil {
 		return nil, err
 	}
-	xw.Sort(threads)
+	spXSort := tr.Start("x sort", 0)
+	rep.XSort = xw.SortWith(threads, coo.SortAuto)
+	spXSort.End()
 	ptrFX, err := xw.SubPtr(p.nfx)
 	if err != nil {
 		return nil, err
@@ -67,7 +69,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
 		Metrics: opt.Metrics,
 	})
-	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("symbolic chunk", tid+1)
 		defer sp.End()
 		w := symWorkers[tid]
@@ -116,7 +118,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		Metrics: opt.Metrics,
 	})
 	spNum := tr.Start("numeric phase", 0)
-	parallel.ForChunked(threads, nf, 0, func(tid, lo, hi int) {
+	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("subtensor chunk", tid+1)
 		defer sp.End()
 		w := ws[tid]

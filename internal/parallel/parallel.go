@@ -11,6 +11,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultThreads returns the thread count used when an Options leaves it 0.
@@ -30,6 +31,24 @@ func Clamp(threads, n int) int {
 		threads = n
 	}
 	return threads
+}
+
+// MinParallelWork is the estimated-work floor below which spawning workers
+// costs more than it saves: BENCH_1.json showed threads=4 slower than
+// threads=1 on the NIPS 2-mode contraction because its nf is tiny and each
+// sub-tensor holds a handful of non-zeros.
+const MinParallelWork = 1 << 13
+
+// ClampWork is Clamp with a serial short-circuit for tiny jobs: when the
+// caller's estimate of total work (typically the non-zero count behind the n
+// loop items) is below MinParallelWork, it returns 1 regardless of the
+// requested thread count. A negative work estimate means "unknown" and
+// disables the short-circuit.
+func ClampWork(threads, n int, work int64) int {
+	if work >= 0 && work < MinParallelWork {
+		return 1
+	}
+	return Clamp(threads, n)
 }
 
 // For splits [0,n) into `threads` contiguous ranges and runs body(tid, lo, hi)
@@ -76,38 +95,36 @@ func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
 		}
 		return
 	}
+	// Chunks are claimed with a single atomic fetch-add: every chunk is the
+	// same size, so the claimed range is a pure function of the returned
+	// counter value and no lock is needed.
 	var next int64
-	var mu sync.Mutex
-	take := func() (int, int, bool) {
-		mu.Lock()
-		lo := int(next)
-		if lo >= n {
-			mu.Unlock()
-			return 0, 0, false
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		next = int64(hi)
-		mu.Unlock()
-		return lo, hi, true
-	}
 	var wg sync.WaitGroup
 	wg.Add(threads)
 	for t := 0; t < threads; t++ {
 		go func(tid int) {
 			defer wg.Done()
 			for {
-				lo, hi, ok := take()
-				if !ok {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
 					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
 				}
 				body(tid, lo, hi)
 			}
 		}(t)
 	}
 	wg.Wait()
+}
+
+// ForChunkedWork is ForChunked with a ClampWork serial fallback: stages whose
+// loop items hide wildly different amounts of work (sub-tensors) pass their
+// total non-zero count so tiny contractions skip the goroutine machinery.
+func ForChunkedWork(threads, n, chunk int, work int64, body func(tid, lo, hi int)) {
+	ForChunked(ClampWork(threads, n, work), n, chunk, body)
 }
 
 // Fanout is a depth-budgeted goroutine spawner for divide-and-conquer

@@ -82,6 +82,76 @@ func TestForChunkedZero(t *testing.T) {
 	}
 }
 
+func TestClampWork(t *testing.T) {
+	if got := ClampWork(4, 100, MinParallelWork-1); got != 1 {
+		t.Fatalf("ClampWork below floor = %d, want 1", got)
+	}
+	if got := ClampWork(4, 100, MinParallelWork); got != 4 {
+		t.Fatalf("ClampWork at floor = %d, want 4", got)
+	}
+	if got := ClampWork(4, 100, -1); got != 4 {
+		t.Fatalf("ClampWork unknown work = %d, want 4 (no short-circuit)", got)
+	}
+	if got := ClampWork(4, 2, MinParallelWork); got != 2 {
+		t.Fatalf("ClampWork still clamps to n: got %d, want 2", got)
+	}
+}
+
+// TestForChunkedWorkSerialFallback is the regression guard for the
+// tiny-contraction case: below the work floor, the body must run on a single
+// worker (tid 0) and strictly in order — no goroutine hand-off at all.
+func TestForChunkedWorkSerialFallback(t *testing.T) {
+	var order []int
+	ForChunkedWork(8, 64, 1, MinParallelWork-1, func(tid, lo, hi int) {
+		if tid != 0 {
+			t.Fatalf("tiny work ran on tid %d, want 0", tid)
+		}
+		order = append(order, lo)
+	})
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("tiny work ran out of order: %v", order)
+		}
+	}
+	// Above the floor the range must still be covered exactly.
+	hits := make([]int32, 523)
+	ForChunkedWork(4, len(hits), 7, MinParallelWork, func(tid, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+// BenchmarkForChunkedTiny guards the satellite fix itself: scheduling a
+// tiny loop through ForChunkedWork must stay within a few times the cost of
+// the bare serial loop (it previously paid goroutine+counter overhead).
+func BenchmarkForChunkedTiny(b *testing.B) {
+	sink := make([]int32, 64)
+	b.Run("work-clamped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForChunkedWork(4, len(sink), 1, int64(len(sink)), func(_, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					sink[j]++
+				}
+			})
+		}
+	})
+	b.Run("unclamped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ForChunked(4, len(sink), 1, func(_, lo, hi int) {
+				for j := lo; j < hi; j++ {
+					atomic.AddInt32(&sink[j], 1)
+				}
+			})
+		}
+	})
+}
+
 func TestFanout(t *testing.T) {
 	fo := NewFanout(2)
 	var count int64

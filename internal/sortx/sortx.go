@@ -1,0 +1,376 @@
+// Package sortx implements the parallel radix-sort engine behind stage ①
+// (input sorting) and the sort-fused writeback that eliminates stage ⑤:
+// out-of-place MSD/LSD byte sorts over (uint64 key, int32 pos) pairs and
+// over (uint64 key, float64 val) runs.
+//
+// The parallel driver mirrors the lock-free two-pass HtY build
+// (hashtab/build2p.go): one MSD byte pass — per-thread histograms, a prefix
+// sum, then a cooperative scatter with per-thread cursors — splits the
+// input into at most 256 partitions that are then finished independently,
+// in parallel, with stable LSD byte passes. Byte positions that are
+// constant across the whole input (bounded above by the radix's bit width
+// and detected exactly with OR/AND aggregates folded into the histogram
+// pass) are skipped entirely, so a tensor whose LN keys span 34 bits pays
+// at most 5 byte passes instead of 8, and all-equal keys pay none.
+package sortx
+
+import (
+	"math/bits"
+
+	"sparta/internal/invariant"
+	"sparta/internal/parallel"
+)
+
+// KeyPos pairs an LN-encoded coordinate with its original position. The coo
+// sorter builds Pos = 0,1,2,..., so a key-stable sort reproduces the
+// comparison sorter's (key, pos) tie-broken order exactly.
+type KeyPos struct {
+	Key uint64
+	Pos int32
+}
+
+// Stats reports how one Sort call spent its byte passes; the partition
+// counts feed the sptc_sort_* skew metrics.
+type Stats struct {
+	Sorted     bool // input was already key-sorted; no passes ran at all
+	Serial     bool // took the serial LSD path (small input or one thread)
+	Partitions int  // non-empty MSD partitions (parallel path only)
+	MaxRun     int  // largest MSD partition size
+	Passes     int  // byte passes executed (the MSD pass included)
+	Skipped    int  // byte passes skipped because the byte is constant
+}
+
+const (
+	// parallelMin is the input size below which the MSD partition
+	// machinery (two extra sweeps plus per-thread tables) costs more than
+	// it saves over the plain serial LSD loop.
+	parallelMin = 1 << 14
+	// insertionMax is the run length at or below which insertion sort
+	// beats counting passes.
+	insertionMax = 24
+)
+
+// Sort orders a ascending by Key, stably: equal keys keep their input
+// order. maxKey bounds every key (callers pass the radix's Card()-1), which
+// caps the byte positions ever scanned. One scratch buffer of len(a) is the
+// only allocation beyond constant-size per-thread tables.
+func Sort(a []KeyPos, maxKey uint64, threads int) Stats {
+	n := len(a)
+	nb := (bits.Len64(maxKey) + 7) / 8
+	if n < 2 || nb == 0 {
+		return Stats{Serial: true, Skipped: nb}
+	}
+	// Already-sorted pre-scan: a contraction over trailing modes permutes X
+	// with the identity, so stage ① often re-sorts sorted data. The scan is
+	// one cheap sequential sweep (comparison sorts get this for free; byte
+	// passes do not), and Pos ascending on equal keys is exactly the stable
+	// order, so nothing needs to move.
+	if keysSorted(a) {
+		return Stats{Sorted: true}
+	}
+	threads = parallel.Clamp(threads, n)
+	if threads == 1 || n < parallelMin {
+		return serialSort(a, nb)
+	}
+	return parallelSort(a, nb, threads)
+}
+
+// serialSort is the single-threaded LSD loop: one histogram + scatter per
+// non-constant byte, ping-ponging between a and one scratch buffer.
+func serialSort(a []KeyPos, nb int) Stats {
+	st := Stats{Serial: true}
+	n := len(a)
+	if n <= insertionMax {
+		insertionKP(a)
+		return st
+	}
+	buf := make([]KeyPos, n)
+	src, dst := a, buf
+	for b := 0; b < nb; b++ {
+		shift := uint(8 * b)
+		var counts [256]int
+		for i := range src {
+			counts[src[i].Key>>shift&0xff]++
+		}
+		if counts[src[0].Key>>shift&0xff] == n {
+			st.Skipped++
+			continue
+		}
+		var off [256]int
+		pos := 0
+		for v := 0; v < 256; v++ {
+			off[v] = pos
+			pos += counts[v]
+		}
+		for i := range src {
+			v := src[i].Key >> shift & 0xff
+			dst[off[v]] = src[i]
+			off[v]++
+		}
+		src, dst = dst, src
+		st.Passes++
+	}
+	if st.Passes%2 == 1 {
+		copy(a, src)
+	}
+	return st
+}
+
+// parallelSort runs the MSD partition pass and then finishes every
+// partition independently. The MSD byte is the highest byte that actually
+// varies — not the width top — so inputs whose keys differ only in one
+// dense byte partition on exactly that byte and pay zero LSD passes.
+func parallelSort(a []KeyPos, nb, threads int) Stats {
+	n := len(a)
+	st := Stats{}
+
+	// Histogram pass: per-thread byte counts plus OR/AND aggregates that
+	// reveal which byte positions vary at all. parallel.For's static split
+	// is deterministic, so the scatter pass below revisits identical
+	// per-thread ranges.
+	partial := make([][256]int, threads)
+	ors := make([]uint64, threads)
+	ands := make([]uint64, threads)
+	histogram := func(shift uint) {
+		parallel.For(threads, n, func(tid, lo, hi int) {
+			var h [256]int
+			or, and := uint64(0), ^uint64(0)
+			for i := lo; i < hi; i++ {
+				k := a[i].Key
+				or |= k
+				and &= k
+				h[k>>shift&0xff]++
+			}
+			partial[tid] = h
+			ors[tid], ands[tid] = or, and
+		})
+	}
+	bTop := nb - 1
+	histogram(uint(8 * bTop))
+	orAll, andAll := uint64(0), ^uint64(0)
+	for t := 0; t < threads; t++ {
+		orAll |= ors[t]
+		andAll &= ands[t]
+	}
+	invariant.Assertf(bits.Len64(orAll) <= 8*nb,
+		"sortx: key with %d significant bits exceeds the %d-byte radix width", bits.Len64(orAll), nb)
+	diff := orAll ^ andAll
+	if diff == 0 {
+		// All keys are equal: stability makes the sort a no-op.
+		st.Partitions, st.MaxRun, st.Skipped = 1, n, nb
+		return st
+	}
+	msd := (bits.Len64(diff) - 1) / 8
+	st.Skipped += bTop - msd // constant high bytes below the width top
+	if msd != bTop {
+		histogram(uint(8 * msd)) // re-count on the byte that actually varies
+	}
+
+	// Partition bounds and per-thread scatter cursors (the build2p
+	// pattern): thread t starts each partition at the global prefix plus
+	// the counts of the threads before it, so the scatter is stable and
+	// lock-free.
+	bounds := make([]int, 257)
+	for v := 0; v < 256; v++ {
+		sum := 0
+		for t := 0; t < threads; t++ {
+			sum += partial[t][v]
+		}
+		bounds[v+1] = bounds[v] + sum
+	}
+	invariant.Assertf(bounds[256] == n,
+		"sortx: MSD histogram sums to %d, want %d", bounds[256], n)
+	cursors := make([][256]int, threads)
+	var run [256]int
+	copy(run[:], bounds[:256])
+	for t := 0; t < threads; t++ {
+		cursors[t] = run
+		for v := 0; v < 256; v++ {
+			run[v] += partial[t][v]
+		}
+	}
+	shift := uint(8 * msd)
+	buf := make([]KeyPos, n)
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		off := &cursors[tid]
+		for i := lo; i < hi; i++ {
+			v := a[i].Key >> shift & 0xff
+			buf[off[v]] = a[i]
+			off[v]++
+		}
+	})
+	st.Passes++
+
+	// LSD passes for the varying bytes below the MSD, run to completion
+	// within each partition. Chunk 1: partition sizes are skewed and 256
+	// partitions over few threads balance fine at that grain.
+	var passes []uint
+	for b := 0; b < msd; b++ {
+		if diff>>(8*b)&0xff != 0 {
+			passes = append(passes, uint(8*b))
+		} else {
+			st.Skipped++
+		}
+	}
+	st.Passes += len(passes)
+	for v := 0; v < 256; v++ {
+		if sz := bounds[v+1] - bounds[v]; sz > 0 {
+			st.Partitions++
+			if sz > st.MaxRun {
+				st.MaxRun = sz
+			}
+		}
+	}
+	parallel.ForChunked(threads, 256, 1, func(_, blo, bhi int) {
+		for p := blo; p < bhi; p++ {
+			lo, hi := bounds[p], bounds[p+1]
+			if lo == hi {
+				continue
+			}
+			seg, out := buf[lo:hi], a[lo:hi]
+			if len(passes) == 0 || hi-lo <= insertionMax {
+				copy(out, seg)
+				if len(passes) > 0 {
+					insertionKP(out)
+				}
+				continue
+			}
+			lsdRange(seg, out, passes)
+		}
+	})
+	return st
+}
+
+// lsdRange runs the byte passes over one partition, ping-ponging between
+// seg (scratch, holding the partition) and out (its final destination), and
+// guarantees the result lands in out. Bytes constant within the partition
+// are skipped even when they vary globally.
+func lsdRange(seg, out []KeyPos, passes []uint) {
+	cur, alt := seg, out
+	for _, shift := range passes {
+		var counts [256]int
+		for i := range cur {
+			counts[cur[i].Key>>shift&0xff]++
+		}
+		if counts[cur[0].Key>>shift&0xff] == len(cur) {
+			continue
+		}
+		var off [256]int
+		pos := 0
+		for v := 0; v < 256; v++ {
+			off[v] = pos
+			pos += counts[v]
+		}
+		for i := range cur {
+			v := cur[i].Key >> shift & 0xff
+			alt[off[v]] = cur[i]
+			off[v]++
+		}
+		cur, alt = alt, cur
+	}
+	if &cur[0] != &out[0] {
+		copy(out, cur)
+	}
+}
+
+// keysSorted reports whether a is already non-decreasing by key.
+func keysSorted(a []KeyPos) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i].Key < a[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// insertionKP sorts a tiny slice stably by key.
+func insertionKP(a []KeyPos) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Key < a[j-1].Key; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// pairInsertionMax is the run length at or below which SortPairs uses
+// insertion sort; fused-writeback runs are usually this small.
+const pairInsertionMax = 32
+
+// SortPairs sorts the parallel arrays keys/vals ascending by key — the
+// per-sub-tensor run sorter of the sort-fused writeback. It runs serially
+// (callers parallelize across runs); *scratchK/*scratchV are grown once and
+// reused, so a worker's whole Zlocal sorts with at most one allocation.
+// Equal keys keep their input order (LSD is stable), though accumulator
+// runs never contain duplicates. maxKey bounds the keys as in Sort.
+func SortPairs(keys []uint64, vals []float64, maxKey uint64, scratchK *[]uint64, scratchV *[]float64) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if keys[i] < keys[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if n <= pairInsertionMax {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		return
+	}
+	// OR/AND aggregates pick out the varying bytes: one sub-tensor's
+	// LN(Fy) run often shares its high bytes, which then cost nothing.
+	or, and := uint64(0), ^uint64(0)
+	for _, k := range keys {
+		or |= k
+		and &= k
+	}
+	diff := or ^ and
+	if diff == 0 {
+		return
+	}
+	if cap(*scratchK) < n {
+		*scratchK = make([]uint64, n)
+		*scratchV = make([]float64, n)
+	}
+	srcK, srcV := keys, vals
+	dstK, dstV := (*scratchK)[:n], (*scratchV)[:n]
+	nb := (bits.Len64(maxKey) + 7) / 8
+	passes := 0
+	for b := 0; b < nb; b++ {
+		if diff>>(8*b)&0xff == 0 {
+			continue
+		}
+		shift := uint(8 * b)
+		var counts [256]int
+		for _, k := range srcK {
+			counts[k>>shift&0xff]++
+		}
+		var off [256]int
+		pos := 0
+		for v := 0; v < 256; v++ {
+			off[v] = pos
+			pos += counts[v]
+		}
+		for i, k := range srcK {
+			v := k >> shift & 0xff
+			dstK[off[v]] = k
+			dstV[off[v]] = srcV[i]
+			off[v]++
+		}
+		srcK, srcV, dstK, dstV = dstK, dstV, srcK, srcV
+		passes++
+	}
+	if passes%2 == 1 {
+		copy(keys, srcK)
+		copy(vals, srcV)
+	}
+}
