@@ -18,17 +18,17 @@ lint:
 # and the race detector over every package (the lock-free HtY build and
 # open-addressed tables live or die by this). The bench experiments run
 # -short under race — at full tilt they exceed the test timeout on small
-# machines — while the hot packages (hashtab, core), which have no
-# short-mode skips, always race-run in full, once plain and once with the
-# -tags assert invariant checks compiled in (probe bounds, load factor,
-# arena-sweep monotonicity; see internal/invariant).
+# machines — while the hot packages (hashtab, core, engine), which have no
+# expensive short-mode skips, always race-run in full, once plain and once
+# with the -tags assert invariant checks compiled in (probe bounds, load
+# factor, arena-sweep monotonicity; see internal/invariant).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/sptc-lint ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/hashtab ./internal/core
-	$(GO) test -race -tags assert ./internal/hashtab ./internal/core
+	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine
+	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine
 
 # bench prints the chained-vs-flat hash-kernel duel without writing JSON.
 bench:

@@ -1,6 +1,11 @@
 package sparta
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"sparta/internal/engine"
+)
 
 // ChainStep is one step of a contraction chain: contract tensors named X
 // and Y with an einsum spec, binding the result to the name Out. Steps may
@@ -35,6 +40,16 @@ type ChainResult struct {
 // X in its last reference needs no defensive clone); inputs are never
 // mutated.
 func EvalChain(steps []ChainStep, inputs map[string]*Tensor, opt Options) (*ChainResult, error) {
+	return EvalChainCtx(context.Background(), steps, inputs, opt)
+}
+
+// EvalChainCtx is EvalChain with cancellation. Steps run through a
+// chain-local plan cache: when several steps contract against the same Y
+// tensor (by content), only the first builds the HtY — the rest reuse it
+// (Report.HtYReused). The cache recognizes tensors by fingerprint, so
+// in-place mutation of an intermediate between uses never yields a stale
+// table.
+func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Tensor, opt Options) (*ChainResult, error) {
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("chain: no steps")
 	}
@@ -55,6 +70,9 @@ func EvalChain(steps []ChainStep, inputs map[string]*Tensor, opt Options) (*Chai
 		_, ok := inputs[name]
 		return ok
 	}
+	// One plan cache for the whole chain, sized to its step count — a chain
+	// never holds more distinct Y sides than steps.
+	eng := engine.New(engine.Config{CacheEntries: len(steps)})
 	for i, st := range steps {
 		if st.Out == "" {
 			return nil, fmt.Errorf("chain: step %d has no output name", i)
@@ -80,7 +98,7 @@ func EvalChain(steps []ChainStep, inputs map[string]*Tensor, opt Options) (*Chai
 			stepOpt.InPlace = !isInput(st.X) && !isInput(st.Y) &&
 				lastUse[st.X] == i && lastUse[st.Y] == i && st.X != st.Y
 		}
-		z, rep, err := Einsum(st.Spec, x, y, stepOpt)
+		z, rep, err := eng.Einsum(ctx, st.Spec, x, y, stepOpt)
 		if err != nil {
 			return nil, fmt.Errorf("chain: step %d (%s): %w", i, st.Spec, err)
 		}

@@ -1,6 +1,8 @@
 package sparta
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -109,5 +111,56 @@ func TestEvalChainInPlaceSafety(t *testing.T) {
 	p, q := res.Tensors["P"], res.Tensors["Q"]
 	if !p.Equal(q) {
 		t.Fatal("repeated use of an intermediate gave different results")
+	}
+}
+
+// TestEvalChainReusesPreparedY: steps that contract different X tensors
+// against the same Y must build its hash table once — the chain-local plan
+// cache serves the later steps (Report.HtYReused).
+func TestEvalChainReusesPreparedY(t *testing.T) {
+	a := Random([]uint64{6, 5, 4}, 60, 41)
+	b := Random([]uint64{7, 5, 4}, 55, 42)
+	v := Random([]uint64{4, 8}, 30, 43)
+
+	res, err := EvalChain([]ChainStep{
+		{Out: "P", Spec: "abc,cd->abd", X: "A", Y: "V"},
+		{Out: "Q", Spec: "xbc,cd->xbd", X: "B", Y: "V"},
+		{Out: "R", Spec: "abd,xbd->ax", X: "P", Y: "Q"},
+	}, map[string]*Tensor{"A": a, "B": b, "V": v}, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports[0].HtYReused {
+		t.Error("first use of V claims a reused HtY")
+	}
+	if !res.Reports[1].HtYReused {
+		t.Error("second contraction against V rebuilt its HtY")
+	}
+	if res.Reports[2].HtYReused {
+		t.Error("fresh intermediate Q claims a reused HtY")
+	}
+
+	// The reused path must give the same result as a fresh contraction.
+	want, _, err := Einsum("xbc,cd->xbd", b, v, Options{Algorithm: AlgSparta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tensors["Q"].Equal(want) {
+		t.Error("reused-HtY step output differs from one-shot Einsum")
+	}
+}
+
+// TestEvalChainCtxCancel: a canceled context aborts the chain mid-way.
+func TestEvalChainCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvalChainCtx(ctx, []ChainStep{
+		{Out: "W", Spec: "ab,bc->ac", X: "A", Y: "B"},
+	}, map[string]*Tensor{
+		"A": Random([]uint64{20, 30}, 200, 1),
+		"B": Random([]uint64{30, 25}, 200, 2),
+	}, Options{Algorithm: AlgSparta})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,113 @@
+// Command sptc-serve is an HTTP contraction service over the prepared-plan
+// engine: upload tensors, contract them with einsum specs, and let the plan
+// cache absorb the stage-① HtY build across requests that share a Y side.
+//
+//	sptc-serve -addr :8080 -demo
+//	curl -X PUT --data-binary @y.tns localhost:8080/tensors/y
+//	curl -X POST -d '{"x":"demoA","y":"demoB","spec":"abc,cde->abde"}' \
+//	    localhost:8080/contract
+//
+// Endpoints:
+//
+//	PUT  /tensors/{name}   upload a FROSTT .tns body; replaces any previous
+//	GET  /tensors/{name}   tensor metadata (order, dims, nnz, fingerprint)
+//	POST /contract         run one contraction (JSON request, JSON reply)
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text (plus /debug/pprof, /debug/vars)
+//
+// Two gates protect the process (DESIGN.md §10):
+//
+//   - -max-inflight bounds concurrent contractions; excess requests queue up
+//     to -queue-wait, then are shed with 503.
+//   - -dram-budget enables hetmem-style admission control: each request's
+//     estimated footprint (prepared HtY + Eq.6 accumulator bound + Z_local
+//     bound) is planned into the remaining budget with the paper's static
+//     placement priority, and requests whose objects would not fit entirely
+//     in DRAM are shed with 503 rather than thrashing. 0 disables the gate.
+//
+// -demo preloads two synthetic tensors (demoA, demoB; contractible with
+// "abc,cde->abde") so smoke tests need no uploads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		threads      = flag.Int("threads", 0, "worker threads per contraction (<1 = GOMAXPROCS)")
+		cacheEntries = flag.Int("cache-entries", 0, "plan cache entry cap (0 = default, negative = disable)")
+		cacheBytes   = flag.String("cache-bytes", "0", "plan cache byte budget (0 = none; accepts K/M/G suffixes)")
+		dramBudget   = flag.String("dram-budget", "0", "DRAM admission budget in bytes (0 = admission disabled; accepts K/M/G suffixes)")
+		maxInflight  = flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent contractions")
+		queueWait    = flag.Duration("queue-wait", 2*time.Second, "max time a request waits for an inflight slot before 503")
+		demo         = flag.Bool("demo", false, "preload synthetic tensors demoA and demoB")
+	)
+	flag.Parse()
+
+	cb, err := parseBytes(*cacheBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc-serve: -cache-bytes: %v\n", err)
+		os.Exit(2)
+	}
+	db, err := parseBytes(*dramBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc-serve: -dram-budget: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := newServer(serverConfig{
+		Threads:      *threads,
+		CacheEntries: *cacheEntries,
+		CacheBytes:   cb,
+		DRAMBudget:   db,
+		MaxInflight:  *maxInflight,
+		QueueWait:    *queueWait,
+	})
+	if *demo {
+		srv.loadDemo()
+	}
+
+	log.Printf("sptc-serve listening on %s (inflight=%d, dram-budget=%d)", *addr, *maxInflight, db)
+	hs := &http.Server{Addr: *addr, Handler: srv.handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("sptc-serve: %v", err)
+	}
+}
+
+// parseBytes reads "512", "64K", "1.5M"-style sizes (decimal multipliers;
+// Ki/Mi/Gi accepted for the binary ones).
+func parseBytes(s string) (uint64, error) {
+	var mult float64 = 1
+	switch {
+	case len(s) == 0:
+		return 0, fmt.Errorf("empty size")
+	default:
+		suffixes := []struct {
+			suf string
+			m   float64
+		}{
+			{"Ki", 1 << 10}, {"Mi", 1 << 20}, {"Gi", 1 << 30},
+			{"K", 1e3}, {"M", 1e6}, {"G", 1e9},
+		}
+		for _, sm := range suffixes {
+			if len(s) > len(sm.suf) && s[len(s)-len(sm.suf):] == sm.suf {
+				mult = sm.m
+				s = s[:len(s)-len(sm.suf)]
+				break
+			}
+		}
+	}
+	var v float64
+	if _, err := fmt.Sscanf(s, "%g", &v); err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return uint64(v * mult), nil
+}

@@ -1,0 +1,421 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparta/internal/coo"
+	"sparta/internal/core"
+	"sparta/internal/einsum"
+	"sparta/internal/engine"
+	"sparta/internal/gen"
+	"sparta/internal/hetmem"
+	"sparta/internal/obs"
+	"sparta/internal/parallel"
+)
+
+// serverConfig sizes one server instance (all fields optional; zero values
+// mean "default/disabled" as documented on the flags).
+type serverConfig struct {
+	Threads      int
+	CacheEntries int
+	CacheBytes   uint64
+	DRAMBudget   uint64
+	MaxInflight  int
+	QueueWait    time.Duration
+}
+
+// server is the HTTP front end: a tensor store, the caching engine, and the
+// two admission gates. All handler state is safe for concurrent use.
+type server struct {
+	eng     *engine.Engine
+	reg     *obs.Registry
+	adm     engine.Admission
+	threads int
+
+	queueWait time.Duration
+	inflight  chan struct{} // counting semaphore; nil = unbounded
+
+	// admMu serializes admission decisions so concurrent requests cannot
+	// jointly oversubscribe the budget; admitted holds the summed admitted
+	// footprints currently running.
+	admMu    sync.Mutex
+	admitted uint64
+
+	mu      sync.RWMutex
+	tensors map[string]*coo.Tensor
+
+	inflightN atomic.Int64 // backs the gauge (obs gauges have no atomic add)
+	gInflight *obs.Gauge
+}
+
+func newServer(cfg serverConfig) *server {
+	reg := obs.NewRegistry()
+	threads := cfg.Threads
+	if threads < 1 {
+		threads = parallel.DefaultThreads()
+	}
+	s := &server{
+		eng: engine.New(engine.Config{
+			CacheEntries: cfg.CacheEntries,
+			CacheBytes:   cfg.CacheBytes,
+			Metrics:      reg,
+		}),
+		reg:       reg,
+		adm:       engine.Admission{DRAMBudget: cfg.DRAMBudget},
+		threads:   threads,
+		queueWait: cfg.QueueWait,
+		tensors:   map[string]*coo.Tensor{},
+		gInflight: reg.Gauge("sptc_serve_inflight", "contractions currently executing"),
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// loadDemo installs two synthetic contractible tensors (demoA: 40x30x50,
+// demoB: 50x35x20; spec "abc,cde->abde") for smoke tests.
+func (s *server) loadDemo() {
+	s.mu.Lock()
+	s.tensors["demoA"] = gen.Random([]uint64{40, 30, 50}, 4000, 1)
+	s.tensors["demoB"] = gen.Random([]uint64{50, 35, 20}, 3000, 2)
+	s.mu.Unlock()
+}
+
+// handler builds the route table on top of the obs exposition mux, so
+// /metrics, /debug/pprof, and /debug/vars ride along.
+func (s *server) handler() http.Handler {
+	mux := obs.NewMux(s.reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("PUT /tensors/{name}", s.handlePutTensor)
+	mux.HandleFunc("GET /tensors/{name}", s.handleGetTensor)
+	mux.HandleFunc("POST /contract", s.handleContract)
+	return mux
+}
+
+// countReq folds one request outcome into the metrics registry.
+func (s *server) countReq(route, outcome string) {
+	s.reg.Counter("sptc_serve_requests_total", "requests by route and outcome",
+		"route", route, "outcome", outcome).Inc()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The connection is gone if this fails; nothing useful to do.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// tensorInfo is the metadata reply for uploads and GETs.
+type tensorInfo struct {
+	Name        string   `json:"name"`
+	Order       int      `json:"order"`
+	Dims        []uint64 `json:"dims"`
+	NNZ         int      `json:"nnz"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+func (s *server) infoFor(name string, t *coo.Tensor) tensorInfo {
+	return tensorInfo{
+		Name:        name,
+		Order:       t.Order(),
+		Dims:        t.Dims,
+		NNZ:         t.NNZ(),
+		Fingerprint: engine.FingerprintTensor(t, s.threads).String(),
+	}
+}
+
+func (s *server) handlePutTensor(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, err := coo.ReadTNS(r.Body)
+	if err != nil {
+		s.countReq("tensors", "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	s.tensors[name] = t
+	s.mu.Unlock()
+	s.countReq("tensors", "ok")
+	writeJSON(w, http.StatusOK, s.infoFor(name, t))
+}
+
+func (s *server) handleGetTensor(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	t, ok := s.tensors[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.countReq("tensors", "not_found")
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("no tensor %q", name)})
+		return
+	}
+	s.countReq("tensors", "ok")
+	writeJSON(w, http.StatusOK, s.infoFor(name, t))
+}
+
+// contractRequest is the POST /contract body. Algorithm: "sparta"
+// (default), "spa", "coohta", "twophase". Kernel: "flat" (default),
+// "chained".
+type contractRequest struct {
+	X         string `json:"x"`
+	Y         string `json:"y"`
+	Spec      string `json:"spec"`
+	Algorithm string `json:"algorithm"`
+	Kernel    string `json:"kernel"`
+	Threads   int    `json:"threads"`
+	TimeoutMS int    `json:"timeout_ms"`
+}
+
+type contractReply struct {
+	Spec        string   `json:"spec"`
+	OutDims     []uint64 `json:"out_dims"`
+	NNZ         int      `json:"nnz"`
+	Fingerprint string   `json:"fingerprint"`
+	HtYReused   bool     `json:"hty_reused"`
+	CacheHits   uint64   `json:"cache_hits"`
+	CacheMisses uint64   `json:"cache_misses"`
+	WallNS      int64    `json:"wall_ns"`
+}
+
+func parseAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "", "sparta":
+		return core.AlgSparta, nil
+	case "spa":
+		return core.AlgSPA, nil
+	case "coohta":
+		return core.AlgCOOHtA, nil
+	case "twophase":
+		return core.AlgTwoPhase, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func parseKernel(name string) (core.Kernel, error) {
+	switch name {
+	case "", "flat":
+		return core.KernelFlat, nil
+	case "chained":
+		return core.KernelChained, nil
+	}
+	return 0, fmt.Errorf("unknown kernel %q", name)
+}
+
+// acquireSlot takes an inflight slot, waiting up to queueWait. It reports
+// whether the slot was obtained; the caller must releaseSlot on true.
+func (s *server) acquireSlot(ctx context.Context) bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queueWait <= 0 {
+		return false
+	}
+	timer := time.NewTimer(s.queueWait)
+	defer timer.Stop()
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *server) releaseSlot() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+func (s *server) handleContract(w http.ResponseWriter, r *http.Request) {
+	var req contractRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.countReq("contract", "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err == nil {
+		var kerr error
+		var k core.Kernel
+		if k, kerr = parseKernel(req.Kernel); kerr != nil {
+			err = kerr
+		} else {
+			err = s.contract(w, r, req, alg, k)
+		}
+	}
+	if err != nil {
+		s.countReq("contract", "bad_request")
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+	}
+}
+
+// contract runs the admission gates and the contraction; it returns an
+// error only for bad requests (the caller writes 400), and writes every
+// other reply itself.
+func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRequest, alg core.Algorithm, kernel core.Kernel) error {
+	s.mu.RLock()
+	x, okX := s.tensors[req.X]
+	y, okY := s.tensors[req.Y]
+	s.mu.RUnlock()
+	if !okX {
+		return fmt.Errorf("no tensor %q", req.X)
+	}
+	if !okY {
+		return fmt.Errorf("no tensor %q", req.Y)
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	threads := req.Threads
+	if threads < 1 {
+		threads = s.threads
+	}
+	opt := core.Options{
+		Algorithm: alg,
+		Kernel:    kernel,
+		Threads:   threads,
+		Metrics:   s.reg,
+	}
+
+	// Gate 1: concurrency. Queue briefly, then shed.
+	if !s.acquireSlot(ctx) {
+		s.countReq("contract", "shed_inflight")
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: "server at max inflight contractions"})
+		return nil
+	}
+	defer s.releaseSlot()
+	s.gInflight.Set(float64(s.inflightN.Add(1)))
+	defer func() { s.gInflight.Set(float64(s.inflightN.Add(-1))) }()
+
+	// Gate 2: memory. Only the Sparta algorithm goes through the prepared
+	// path, so only it has the footprint model; the baselines run ungated
+	// (they exist for A/B comparison, not production serving).
+	release, shedObj, aerr := s.admit(ctx, req, x, y, opt)
+	if aerr != nil {
+		return aerr
+	}
+	if shedObj != "" {
+		s.countReq("contract", "shed_memory")
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{
+			Error: fmt.Sprintf("estimated footprint exceeds DRAM budget (%s does not fit)", shedObj),
+		})
+		return nil
+	}
+	defer release()
+
+	start := time.Now()
+	z, rep, err := s.eng.Einsum(ctx, req.Spec, x, y, opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.countReq("contract", "timeout")
+		writeJSON(w, http.StatusGatewayTimeout, errorReply{Error: err.Error()})
+		return nil
+	case errors.Is(err, context.Canceled):
+		s.countReq("contract", "canceled")
+		// The client is gone; status is moot but 499-style close is not
+		// expressible, so use 503.
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
+		return nil
+	default:
+		return err
+	}
+
+	st := s.eng.Stats()
+	s.countReq("contract", "ok")
+	s.reg.Histogram("sptc_serve_contract_seconds", "contraction wall time",
+		[]float64{0.001, 0.01, 0.1, 1, 10}).Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, contractReply{
+		Spec:        req.Spec,
+		OutDims:     z.Dims,
+		NNZ:         z.NNZ(),
+		Fingerprint: engine.FingerprintTensor(z, threads).String(),
+		HtYReused:   rep.HtYReused,
+		CacheHits:   st.Hits,
+		CacheMisses: st.Misses,
+		WallNS:      time.Since(start).Nanoseconds(),
+	})
+	return nil
+}
+
+// admit runs the DRAM admission gate. It returns a release func (always
+// non-nil) and, when the request must be shed, the name of the first object
+// that did not fit. Requests outside the prepared path, or with admission
+// disabled, are admitted with a no-op release.
+func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tensor, opt core.Options) (release func(), shedObj string, err error) {
+	release = func() {}
+	if s.adm.DRAMBudget == 0 || opt.Algorithm != core.AlgSparta {
+		return release, "", nil
+	}
+	if err := ctx.Err(); err != nil {
+		return release, "", err
+	}
+	// Resolve the contract modes so the Y side can be prepared (cached
+	// across requests) and its exact resident size used in the estimate.
+	pr, _, err := s.prepareFor(req.Spec, x, y, opt)
+	if err != nil {
+		return release, "", err
+	}
+	fp := engine.EstimateFootprint(x.NNZ(), pr)
+	s.admMu.Lock()
+	ok, frac := s.adm.Admit(fp, opt.Threads, s.admitted)
+	if !ok {
+		s.admMu.Unlock()
+		for _, o := range []hetmem.Object{hetmem.ObjHtY, hetmem.ObjHtA, hetmem.ObjZLocal} {
+			if frac[o] < 1 {
+				return release, o.String(), nil
+			}
+		}
+		return release, "footprint", nil
+	}
+	total := fp.Total(opt.Threads)
+	s.admitted += total
+	s.admMu.Unlock()
+	release = func() {
+		s.admMu.Lock()
+		s.admitted -= total
+		s.admMu.Unlock()
+	}
+	return release, "", nil
+}
+
+// prepareFor parses the spec far enough to prepare the Y side through the
+// engine's plan cache (the later Einsum call re-resolves the same cached
+// plan — the fingerprint lookup is the cheap part).
+func (s *server) prepareFor(spec string, x, y *coo.Tensor, opt core.Options) (*core.PreparedY, bool, error) {
+	ein, err := einsum.Parse(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := ein.CheckRanks(spec, x.Order(), y.Order()); err != nil {
+		return nil, false, err
+	}
+	return s.eng.Prepare(y, ein.CmodesY, opt)
+}

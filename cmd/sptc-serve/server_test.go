@@ -1,0 +1,252 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparta/internal/gen"
+)
+
+func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(cfg)
+	s.loadDemo()
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postContract(t *testing.T, url string, req contractRequest) (*http.Response, contractReply, errorReply) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/contract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /contract: %v", err)
+	}
+	defer resp.Body.Close()
+	var ok contractReply
+	var bad errorReply
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading reply: %v", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &ok); err != nil {
+			t.Fatalf("decoding reply %q: %v", buf.String(), err)
+		}
+	} else if err := json.Unmarshal(buf.Bytes(), &bad); err != nil {
+		t.Fatalf("decoding error reply %q: %v", buf.String(), err)
+	}
+	return resp, ok, bad
+}
+
+// TestContractWarmCold is the serving core: the first contraction builds
+// the HtY, the second (same Y) reuses it, and both produce the identical
+// output tensor.
+func TestContractWarmCold(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	req := contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"}
+
+	resp, cold, _ := postContract(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold request: status %d", resp.StatusCode)
+	}
+	if cold.HtYReused {
+		t.Error("cold request claims hty_reused")
+	}
+	if cold.NNZ == 0 || cold.Fingerprint == "" {
+		t.Fatalf("degenerate cold reply: %+v", cold)
+	}
+
+	resp, warm, _ := postContract(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: status %d", resp.StatusCode)
+	}
+	if !warm.HtYReused {
+		t.Error("warm request did not reuse the prepared HtY")
+	}
+	if warm.Fingerprint != cold.Fingerprint || warm.NNZ != cold.NNZ {
+		t.Errorf("warm output differs: cold %s/%d, warm %s/%d",
+			cold.Fingerprint, cold.NNZ, warm.Fingerprint, warm.NNZ)
+	}
+	if warm.CacheHits == 0 {
+		t.Error("warm request left cache_hits at 0")
+	}
+}
+
+// TestConcurrentRequests hammers one warm route from many goroutines; all
+// must succeed with the same fingerprint.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t, serverConfig{MaxInflight: 4, QueueWait: 30 * time.Second})
+	req := contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"}
+	resp, first, _ := postContract(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming request: status %d", resp.StatusCode)
+	}
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, rep, bad := postContract(t, ts.URL, req)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, bad.Error)
+				return
+			}
+			if rep.Fingerprint != first.Fingerprint {
+				errs <- fmt.Errorf("fingerprint %s != %s", rep.Fingerprint, first.Fingerprint)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestShedTinyBudget: with a DRAM budget far below any footprint, Sparta
+// requests are shed with 503, and the shed is counted.
+func TestShedTinyBudget(t *testing.T) {
+	s, ts := testServer(t, serverConfig{DRAMBudget: 1024})
+	resp, _, bad := postContract(t, ts.URL, contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 shed, got %d", resp.StatusCode)
+	}
+	if !strings.Contains(bad.Error, "DRAM budget") {
+		t.Errorf("shed reply does not explain itself: %q", bad.Error)
+	}
+	if n := s.reg.Counter("sptc_serve_requests_total", "", "route", "contract", "outcome", "shed_memory").Value(); n == 0 {
+		t.Error("shed_memory counter not incremented")
+	}
+}
+
+// TestShedInflight: with the only slot occupied and no queue wait, a
+// request is shed immediately.
+func TestShedInflight(t *testing.T) {
+	s, ts := testServer(t, serverConfig{MaxInflight: 1, QueueWait: -1})
+	s.inflight <- struct{}{} // occupy the only slot
+	defer func() { <-s.inflight }()
+	resp, _, bad := postContract(t, ts.URL, contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 shed, got %d (%s)", resp.StatusCode, bad.Error)
+	}
+	if n := s.reg.Counter("sptc_serve_requests_total", "", "route", "contract", "outcome", "shed_inflight").Value(); n == 0 {
+		t.Error("shed_inflight counter not incremented")
+	}
+}
+
+// TestTensorUploadRoundTrip uploads a .tns body and contracts against it.
+func TestTensorUploadRoundTrip(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	y := gen.Random([]uint64{50, 12, 9}, 500, 7)
+	var buf bytes.Buffer
+	if err := y.WriteTNS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/tensors/up", &buf)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info tensorInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.NNZ != y.NNZ() {
+		t.Fatalf("upload: status %d, info %+v", resp.StatusCode, info)
+	}
+	cresp, rep, bad := postContract(t, ts.URL, contractRequest{X: "demoA", Y: "up", Spec: "abc,cde->abde"})
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("contract vs uploaded: status %d (%s)", cresp.StatusCode, bad.Error)
+	}
+	if rep.NNZ == 0 {
+		t.Error("contraction against uploaded tensor produced nothing")
+	}
+}
+
+// TestBadRequests drives the 400 paths.
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	cases := []contractRequest{
+		{X: "nope", Y: "demoB", Spec: "abc,cde->abde"},
+		{X: "demoA", Y: "nope", Spec: "abc,cde->abde"},
+		{X: "demoA", Y: "demoB", Spec: "abc,cde"},              // no arrow
+		{X: "demoA", Y: "demoB", Spec: "ab,cde->abde"},         // rank mismatch
+		{X: "demoA", Y: "demoB", Spec: "abc,cde->abde", Algorithm: "nope"},
+		{X: "demoA", Y: "demoB", Spec: "abc,cde->abde", Kernel: "nope"},
+	}
+	for _, c := range cases {
+		resp, _, _ := postContract(t, ts.URL, c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: want 400, got %d", c, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/contract", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON: want 400, got %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsExposition checks the serving metrics appear on /metrics.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := testServer(t, serverConfig{})
+	postContract(t, ts.URL, contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"})
+	postContract(t, ts.URL, contractRequest{X: "demoA", Y: "demoB", Spec: "abc,cde->abde"})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`sptc_serve_requests_total{outcome="ok",route="contract"}`,
+		`sptc_engine_cache_total{outcome="hit"}`,
+		"sptc_serve_inflight",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"512", 512, true},
+		{"64K", 64_000, true},
+		{"1.5M", 1_500_000, true},
+		{"2Gi", 2 << 30, true},
+		{"4Ki", 4096, true},
+		{"", 0, false},
+		{"x", 0, false},
+		{"-5", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseBytes(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package sparta
 
 import (
-	"fmt"
-	"strings"
+	"context"
+
+	"sparta/internal/core"
+	"sparta/internal/einsum"
 )
 
 // Einsum contracts two sparse tensors with Einstein-summation notation, the
@@ -21,138 +23,42 @@ import (
 // from the engine's natural order (X's free modes then Y's), the result is
 // permuted and re-sorted.
 func Einsum(spec string, x, y *Tensor, opt Options) (*Tensor, *Report, error) {
-	ein, err := parseEinsum(spec)
+	return EinsumCtx(context.Background(), spec, x, y, opt)
+}
+
+// EinsumCtx is Einsum with cancellation: a canceled context or expired
+// deadline stops the contraction at the next parallel chunk boundary and
+// returns ctx.Err().
+func EinsumCtx(ctx context.Context, spec string, x, y *Tensor, opt Options) (*Tensor, *Report, error) {
+	ein, err := einsum.Parse(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(ein.x) != x.Order() {
-		return nil, nil, fmt.Errorf("einsum: spec %q gives X %d modes, tensor has %d", spec, len(ein.x), x.Order())
+	if err := ein.CheckRanks(spec, x.Order(), y.Order()); err != nil {
+		return nil, nil, err
 	}
-	if len(ein.y) != y.Order() {
-		return nil, nil, fmt.Errorf("einsum: spec %q gives Y %d modes, tensor has %d", spec, len(ein.y), y.Order())
-	}
-	z, rep, err := Contract(x, y, ein.cmodesX, ein.cmodesY, opt)
+	z, rep, err := core.ContractCtx(ctx, x, y, ein.CmodesX, ein.CmodesY, opt)
 	if err != nil {
 		return nil, nil, err
 	}
-	if !ein.identityOut {
-		if err := z.Permute(ein.outPerm); err != nil {
-			return nil, nil, err
-		}
-		if !opt.SkipOutputSort {
-			z.Sort(opt.Threads)
-		}
+	if err := finishEinsumOutput(ein, z, opt); err != nil {
+		return nil, nil, err
 	}
 	return z, rep, nil
 }
 
-// einsumPlan is the parsed form of an einsum spec.
-type einsumPlan struct {
-	x, y, out        []rune
-	cmodesX, cmodesY []int
-	outPerm          []int // Z permutation from natural (FX++FY) order to spec order
-	identityOut      bool
-}
-
-func parseEinsum(spec string) (*einsumPlan, error) {
-	spec = strings.ReplaceAll(spec, " ", "")
-	parts := strings.Split(spec, "->")
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("einsum: spec %q needs exactly one '->'", spec)
+// finishEinsumOutput applies the spec's output-mode permutation (and the
+// re-sort it necessitates) to a naturally-ordered Z. Shared by the one-shot
+// path above and the prepared/engine paths.
+func finishEinsumOutput(ein *einsum.Plan, z *Tensor, opt Options) error {
+	if ein.IdentityOut {
+		return nil
 	}
-	ins := strings.Split(parts[0], ",")
-	if len(ins) != 2 {
-		return nil, fmt.Errorf("einsum: spec %q needs exactly two inputs", spec)
+	if err := z.Permute(ein.OutPerm); err != nil {
+		return err
 	}
-	p := &einsumPlan{x: []rune(ins[0]), y: []rune(ins[1]), out: []rune(parts[1])}
-	if len(p.x) == 0 || len(p.y) == 0 {
-		return nil, fmt.Errorf("einsum: empty operand in %q", spec)
+	if !opt.SkipOutputSort {
+		z.Sort(opt.Threads)
 	}
-	for _, set := range [][]rune{p.x, p.y, p.out} {
-		seen := map[rune]bool{}
-		for _, r := range set {
-			if !isEinsumLabel(r) {
-				return nil, fmt.Errorf("einsum: invalid label %q in %q", r, spec)
-			}
-			if seen[r] {
-				return nil, fmt.Errorf("einsum: repeated label %q within one operand of %q (traces unsupported)", r, spec)
-			}
-			seen[r] = true
-		}
-	}
-	posX := map[rune]int{}
-	for i, r := range p.x {
-		posX[r] = i
-	}
-	posY := map[rune]int{}
-	for i, r := range p.y {
-		posY[r] = i
-	}
-	outSet := map[rune]bool{}
-	for _, r := range p.out {
-		outSet[r] = true
-	}
-
-	// Contracted labels: in both inputs, not in the output.
-	for _, r := range p.x {
-		yi, shared := posY[r]
-		switch {
-		case shared && !outSet[r]:
-			p.cmodesX = append(p.cmodesX, posX[r])
-			p.cmodesY = append(p.cmodesY, yi)
-		case shared && outSet[r]:
-			return nil, fmt.Errorf("einsum: label %q is shared by both inputs and kept in the output (batched modes unsupported)", r)
-		case !shared && !outSet[r]:
-			return nil, fmt.Errorf("einsum: label %q of X appears in neither Y nor the output", r)
-		}
-	}
-	if len(p.cmodesX) == 0 {
-		return nil, fmt.Errorf("einsum: %q contracts no modes", spec)
-	}
-	for _, r := range p.y {
-		if _, shared := posX[r]; !shared && !outSet[r] {
-			return nil, fmt.Errorf("einsum: label %q of Y appears in neither X nor the output", r)
-		}
-	}
-
-	// Natural output order: X free labels (original order) then Y free.
-	var natural []rune
-	for _, r := range p.x {
-		if outSet[r] {
-			natural = append(natural, r)
-		}
-	}
-	for _, r := range p.y {
-		if outSet[r] {
-			natural = append(natural, r)
-		}
-	}
-	if len(natural) != len(p.out) {
-		return nil, fmt.Errorf("einsum: output %q does not cover the free labels %q", string(p.out), string(natural))
-	}
-	natPos := map[rune]int{}
-	for i, r := range natural {
-		natPos[r] = i
-	}
-	p.identityOut = true
-	p.outPerm = make([]int, len(p.out))
-	for i, r := range p.out {
-		j, ok := natPos[r]
-		if !ok {
-			return nil, fmt.Errorf("einsum: output label %q is not a free label", r)
-		}
-		p.outPerm[i] = j
-		if i != j {
-			p.identityOut = false
-		}
-	}
-	if len(p.out) == 0 {
-		// Scalar result: Z is the 1-mode size-1 tensor; nothing to permute.
-		p.identityOut = true
-	}
-	return p, nil
-}
-
-func isEinsumLabel(r rune) bool {
-	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+	return nil
 }

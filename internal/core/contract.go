@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -73,38 +74,65 @@ type Options struct {
 // modes. A fully contracted result is returned as a 1-mode, size-1 tensor
 // holding the scalar at index 0.
 func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tensor, *Report, error) {
+	return ContractCtx(context.Background(), x, y, cmodesX, cmodesY, opt)
+}
+
+// ContractCtx is Contract with cancellation: the parallel stage loops
+// checkpoint ctx between chunk claims, so a canceled context or an expired
+// deadline stops the contraction at the next chunk boundary and returns
+// ctx.Err(). Partially computed state is discarded. A Background context
+// costs nothing on the hot path.
+func ContractCtx(ctx context.Context, x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tensor, *Report, error) {
 	p, err := newPlan(x, y, cmodesX, cmodesY)
 	if err != nil {
 		return nil, nil, err
 	}
-	switch opt.Algorithm {
-	case AlgSPA, AlgCOOHtA, AlgSparta, AlgTwoPhase:
-	default:
-		return nil, nil, errBadAlgorithm(opt.Algorithm)
-	}
-	switch opt.Kernel {
-	case KernelFlat, KernelChained:
-	default:
-		return nil, nil, errBadKernel(opt.Kernel)
-	}
-	threads := opt.Threads
-	if threads < 1 {
-		threads = parallel.DefaultThreads()
-	}
-	rep := &Report{
-		Algorithm: opt.Algorithm,
-		Kernel:    opt.Kernel,
-		Threads:   threads,
-		NNZX:      x.NNZ(),
-		NNZY:      y.NNZ(),
+	rep, err := checkOptions(opt, x.NNZ(), y.NNZ())
+	if err != nil {
+		return nil, nil, err
 	}
 	if opt.Algorithm == AlgTwoPhase {
-		z, err := contractTwoPhase(p, opt, rep)
+		z, err := contractTwoPhase(ctx, p, opt, rep)
 		if err != nil {
 			return nil, nil, err
 		}
 		return z, rep, nil
 	}
+	return contractMain(ctx, p, nil, opt, rep)
+}
+
+// checkOptions validates the algorithm/kernel selectors and builds the
+// Report skeleton shared by the one-shot and prepared entry points.
+func checkOptions(opt Options, nnzX, nnzY int) (*Report, error) {
+	switch opt.Algorithm {
+	case AlgSPA, AlgCOOHtA, AlgSparta, AlgTwoPhase:
+	default:
+		return nil, errBadAlgorithm(opt.Algorithm)
+	}
+	switch opt.Kernel {
+	case KernelFlat, KernelChained:
+	default:
+		return nil, errBadKernel(opt.Kernel)
+	}
+	threads := opt.Threads
+	if threads < 1 {
+		threads = parallel.DefaultThreads()
+	}
+	return &Report{
+		Algorithm: opt.Algorithm,
+		Kernel:    opt.Kernel,
+		Threads:   threads,
+		NNZX:      nnzX,
+		NNZY:      nnzY,
+	}, nil
+}
+
+// contractMain runs stages ①–⑤ for the Zlocal-buffered algorithms. When
+// prep is non-nil the COO→HtY conversion is skipped entirely — the prepared
+// table is probed instead and the report is marked HtYReused (no "hty
+// build" span is opened).
+func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, rep *Report) (*coo.Tensor, *Report, error) {
+	threads := rep.Threads
 
 	// ① Input processing -------------------------------------------------
 	// Spans pair with the stage timers; error paths leave a span un-ended,
@@ -133,7 +161,11 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	var hty hashtab.YTable
 	var yw *coo.Tensor
 	var ptrCY []int
-	if opt.Algorithm == AlgSparta {
+	if prep != nil {
+		hty = prep.hty
+		rep.HtYReused = true
+		prep.fillReport(rep)
+	} else if opt.Algorithm == AlgSparta {
 		hty = buildYTable(p, opt, threads, rep)
 	} else {
 		yw = p.y
@@ -154,13 +186,16 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
 	spInput.End()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// ②③④ Computation; chunk < 1 defers the chunk size to ForChunked's
 	// own heuristic (the single source of truth for chunking). -----------
 	ws := makeWorkers(threads, p, opt)
 	nf := rep.NF
 	spCompute := tr.Start("compute", 0)
-	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
+	cerr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("subtensor chunk", tid+1)
 		w := ws[tid]
 		for f := lo; f < hi; f++ {
@@ -176,6 +211,9 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 		sp.End()
 	})
 	spCompute.End()
+	if cerr != nil {
+		return nil, nil, cerr
+	}
 	mergeWorkerStats(rep, ws)
 
 	// ④ Writeback: gather thread-local Zlocal into Z ---------------------
@@ -187,6 +225,9 @@ func Contract(x, y *coo.Tensor, cmodesX, cmodesY []int, opt Options) (*coo.Tenso
 		if total > opt.MaxOutputNNZ {
 			return nil, nil, fmt.Errorf("core: output has %d non-zeros, exceeding MaxOutputNNZ %d", total, opt.MaxOutputNNZ)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	fused := !opt.UnfusedWriteback
 	spGather := tr.Start("writeback gather", 0)

@@ -116,8 +116,13 @@ type Report struct {
 
 	// HtYBuild is the COO→HtY conversion wall time, separated from the
 	// rest of StageInput (X permute+sort) so kernel duels compare exactly
-	// the hash-table work.
+	// the hash-table work. Zero when the build was skipped (HtYReused).
 	HtYBuild time.Duration
+	// HtYReused is true when this contraction skipped the COO→HtY build
+	// because a *PreparedY (possibly from the engine plan cache) supplied
+	// an already-built table. The "hty build" span is absent from traces
+	// of such runs and HtYBuild is zero.
+	HtYReused bool
 	// XSort reports which engine sorted X in stage ① and, on the radix
 	// path, its partition/pass stats (feeds the sptc_sort_* skew metrics).
 	XSort coo.SortInfo

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"sparta/internal/coo"
@@ -24,8 +25,9 @@ import (
 // twophase) measures the trade both ways.
 
 // contractTwoPhase runs Z = X × Y with HtY + HtA data structures but
-// two-phase output allocation. Inputs are pre-validated by Contract.
-func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
+// two-phase output allocation. Inputs are pre-validated by Contract. Both
+// parallel phases checkpoint ctx between chunk claims.
+func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	threads := rep.Threads
 	tr := opt.Tracer
 
@@ -69,7 +71,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
 		Metrics: opt.Metrics,
 	})
-	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
+	symErr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("symbolic chunk", tid+1)
 		defer sp.End()
 		w := symWorkers[tid]
@@ -97,6 +99,9 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	})
 	rep.Symbolic = time.Since(t0)
 	spSym.End()
+	if symErr != nil {
+		return nil, symErr
+	}
 	zoff, total := parallel.PrefixSum(counts)
 	if opt.MaxOutputNNZ > 0 && total > opt.MaxOutputNNZ {
 		return nil, errOutputTooLarge{total, opt.MaxOutputNNZ}
@@ -118,7 +123,7 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		Metrics: opt.Metrics,
 	})
 	spNum := tr.Start("numeric phase", 0)
-	parallel.ForChunkedWork(threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
+	numErr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
 		sp := tr.Start("subtensor chunk", tid+1)
 		defer sp.End()
 		w := ws[tid]
@@ -209,6 +214,9 @@ func contractTwoPhase(p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 		}
 	})
 	spNum.End()
+	if numErr != nil {
+		return nil, numErr
+	}
 	mergeWorkerStats(rep, ws)
 	for _, sw := range symWorkers {
 		var b uint64

@@ -1,0 +1,93 @@
+package einsum
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		spec             string
+		cmodesX, cmodesY []int
+		outPerm          []int
+		identity         bool
+	}{
+		{"abef,efcd->abcd", []int{2, 3}, []int{0, 1}, []int{0, 1, 2, 3}, true},
+		{"ab,bc->ac", []int{1}, []int{0}, []int{0, 1}, true},
+		{"ab,bc->ca", []int{1}, []int{0}, []int{1, 0}, false},
+		{"abcd,abcd->", []int{0, 1, 2, 3}, []int{0, 1, 2, 3}, []int{}, true},
+		{"ij, jk -> ik", []int{1}, []int{0}, []int{0, 1}, true}, // spaces stripped
+		{"aXb,Xc->abc", []int{1}, []int{0}, []int{0, 1, 2}, true},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if !reflect.DeepEqual(p.CmodesX, c.cmodesX) || !reflect.DeepEqual(p.CmodesY, c.cmodesY) {
+			t.Errorf("Parse(%q): cmodes (%v, %v), want (%v, %v)",
+				c.spec, p.CmodesX, p.CmodesY, c.cmodesX, c.cmodesY)
+		}
+		if p.IdentityOut != c.identity {
+			t.Errorf("Parse(%q): IdentityOut = %v, want %v", c.spec, p.IdentityOut, c.identity)
+		}
+		if !c.identity && !reflect.DeepEqual(p.OutPerm, c.outPerm) {
+			t.Errorf("Parse(%q): OutPerm = %v, want %v", c.spec, p.OutPerm, c.outPerm)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantSub string
+	}{
+		{"no arrow", "ab,bc", "exactly one '->'"},
+		{"two arrows", "ab->bc->ac", "exactly one '->'"},
+		{"one input", "abc->abc", "exactly two inputs"},
+		{"three inputs", "ab,bc,cd->ad", "exactly two inputs"},
+		{"empty X", ",bc->c", "empty operand"},
+		{"empty Y", "ab,->ab", "empty operand"},
+		{"duplicate label in X", "aab,bc->ac", "repeated label"},
+		{"duplicate label in Y", "ab,bbc->ac", "repeated label"},
+		{"duplicate label in out", "ab,bc->aac", "repeated label"},
+		{"invalid label digit", "a1,1c->ac", "invalid label"},
+		{"invalid label symbol", "a_,_c->ac", "invalid label"},
+		{"batched shared label", "ab,bc->abc", "batched modes unsupported"},
+		{"dangling X label", "ab,cd->ad", "appears in neither"},
+		{"dangling Y label", "ab,bc->a", "appears in neither"},
+		{"no contraction", "ab,cd->abcd", "contracts no modes"},
+		{"out longer than free labels", "ab,bc->acx", "does not cover"},
+		{"out misses a free label", "ab,bc->a", "appears in neither"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", c.spec, c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("Parse(%q) error %q does not contain %q", c.spec, err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckRanks(t *testing.T) {
+	p, err := Parse("abc,cd->abd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckRanks("abc,cd->abd", 3, 2); err != nil {
+		t.Errorf("matching ranks rejected: %v", err)
+	}
+	if err := p.CheckRanks("abc,cd->abd", 2, 2); err == nil ||
+		!strings.Contains(err.Error(), "gives X 3 modes, tensor has 2") {
+		t.Errorf("X rank mismatch: %v", err)
+	}
+	if err := p.CheckRanks("abc,cd->abd", 3, 4); err == nil ||
+		!strings.Contains(err.Error(), "gives Y 2 modes, tensor has 4") {
+		t.Errorf("Y rank mismatch: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sparta/internal/core"
+	"sparta/internal/hetmem"
+)
+
+// Footprint is the pre-run DRAM demand estimate for one contraction: the
+// prepared HtY plus the per-thread accumulator tables and local output
+// buffers the compute stages allocate. It feeds the same static planner the
+// hetmem layer uses for placement (§4.2), so admission and placement agree
+// on what "fits".
+type Footprint struct {
+	HtY          uint64 // resident prepared table (exact once built)
+	HtAPerThread uint64 // Eq. 6 upper bound per worker
+	ZLocal       uint64 // per-thread output staging upper bound
+}
+
+// zlEntryBytes is the accounted size of one Z_local entry (value + packed
+// key), matching the profile layer's accounting.
+const zlEntryBytes = 16
+
+// EstimateFootprint bounds the memory a contraction of an nnzX-nonzero X
+// against the prepared plan will demand. HtY is the table's exact resident
+// size. HtA and Z_local do not exist yet, so both use worst-case bounds:
+// Eq. 6 with nnz_Fmax(X) = nnzX (every X nonzero sharing one contract key)
+// and the prepared table's true nnz_Fmax(Y); Z_local assumes every X nonzero
+// matches a maximal Y fiber. Deliberately conservative — admission exists to
+// protect the DRAM budget, and a shed request can retry, while an admitted
+// request that thrashes cannot.
+func EstimateFootprint(nnzX int, pr *core.PreparedY) Footprint {
+	maxY := pr.MaxItemLen()
+	return Footprint{
+		HtY:          pr.Bytes(),
+		HtAPerThread: hetmemEq6(pr.NumBuckets(), nnzX, maxY, pr.NumFreeModes()),
+		ZLocal:       uint64(nnzX) * uint64(maxY) * zlEntryBytes,
+	}
+}
+
+// hetmemEq6 mirrors hashtab.EstimateHtABytes without importing it here
+// (identical constants); kept local so the admission formula is readable in
+// one place: Size_ep*#Buckets + nnzFmaxX*nnzFmaxY*(Size_idx*|F_Y| + Size_val
+// + Size_ep).
+func hetmemEq6(buckets, nnzFmaxX, nnzFmaxY, freeModesY int) uint64 {
+	const sizeEP, sizeIdx, sizeVal = 8, 8, 8
+	return uint64(buckets)*sizeEP +
+		uint64(nnzFmaxX)*uint64(nnzFmaxY)*(sizeIdx*uint64(freeModesY)+sizeVal+sizeEP)
+}
+
+// Total is the summed demand across threads.
+func (f Footprint) Total(threads int) uint64 {
+	if threads < 1 {
+		threads = 1
+	}
+	return f.HtY + f.HtAPerThread*uint64(threads) + f.ZLocal
+}
+
+// Admission gates contractions against a DRAM budget shared with any
+// already-admitted work. A zero budget disables the gate entirely.
+type Admission struct {
+	// DRAMBudget is the total byte budget (0 = admission disabled).
+	DRAMBudget uint64
+}
+
+// Admit plans f's objects into the remaining budget (DRAMBudget minus
+// inUse) with hetmem.PlanStatic under the paper's priority order and admits
+// only when every object fits entirely — a partially resident HtA or HtY is
+// exactly the slow path admission exists to avoid. The returned Frac is the
+// planner's verdict, useful for logging which object failed to fit.
+func (a Admission) Admit(f Footprint, threads int, inUse uint64) (bool, hetmem.Frac) {
+	if a.DRAMBudget == 0 {
+		return true, hetmem.AllDRAM()
+	}
+	rem := uint64(0)
+	if a.DRAMBudget > inUse {
+		rem = a.DRAMBudget - inUse
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var sizes [hetmem.NumObjects]uint64
+	sizes[hetmem.ObjHtY] = f.HtY
+	sizes[hetmem.ObjHtA] = f.HtAPerThread * uint64(threads)
+	sizes[hetmem.ObjZLocal] = f.ZLocal
+	frac := hetmem.PlanStatic(sizes, rem, hetmem.SpartaPriority)
+	ok := frac[hetmem.ObjHtY] >= 1 && frac[hetmem.ObjHtA] >= 1 && frac[hetmem.ObjZLocal] >= 1
+	return ok, frac
+}

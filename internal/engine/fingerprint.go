@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sparta/internal/coo"
+	"sparta/internal/parallel"
+)
+
+// Fingerprint is a 128-bit content hash of a COO tensor: mode count, mode
+// sizes, non-zero count, and the multiset of (index tuple, value) entries.
+// It is insertion-order independent — the same tensor stored in any non-zero
+// order fingerprints identically — so the plan cache recognizes a Y tensor
+// without requiring (or paying for) a sort.
+//
+// Scheme: a header hash chains order, dims, and nnz through splitmix64; each
+// non-zero chains its mode indices (in mode order) and raw IEEE-754 value
+// bits into one 64-bit entry hash; entries combine commutatively — one lane
+// sums the entry hashes, the other XORs an independent remix — and the two
+// lanes are finalized against the header. Identical duplicate entries cancel
+// in the XOR lane but are counted by the sum lane and nnz, so duplicated
+// coordinates still separate tensors. Collisions require the sum AND xor of
+// the per-entry hashes to agree under the same header — FuzzFingerprint
+// drives this against a canonical-serialization oracle.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// IsZero reports whether f is the zero fingerprint (no tensor hashed).
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// mix64 is the splitmix64 finalizer, the same mixer the hash kernels use.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+const (
+	fpHeaderSeed = 0x5349_4752_4150_5346 // arbitrary distinct seeds
+	fpEntrySeed  = 0x9e37_79b9_7f4a_7c15
+	fpLaneSeed   = 0xc2b2_ae3d_27d4_eb4f
+)
+
+// FingerprintTensor hashes t with the given worker count (<1 = all cores).
+// The commutative entry combine makes the parallel split exact: per-thread
+// partial sums/xors fold into the same result as a serial walk.
+func FingerprintTensor(t *coo.Tensor, threads int) Fingerprint {
+	h := mix64(fpHeaderSeed ^ uint64(len(t.Dims)))
+	for _, d := range t.Dims {
+		h = mix64(h ^ d)
+	}
+	n := t.NNZ()
+	h = mix64(h ^ uint64(n))
+
+	threads = parallel.ClampWork(threads, n, int64(n)*int64(len(t.Dims)))
+	sums := make([]uint64, threads)
+	xors := make([]uint64, threads)
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		var sum, xr uint64
+		for i := lo; i < hi; i++ {
+			e := uint64(fpEntrySeed)
+			for m := range t.Inds {
+				e = mix64(e ^ uint64(t.Inds[m][i]))
+			}
+			e = mix64(e ^ math.Float64bits(t.Vals[i]))
+			sum += e
+			xr ^= mix64(e ^ fpLaneSeed)
+		}
+		sums[tid] = sum
+		xors[tid] = xr
+	})
+	var sum, xr uint64
+	for i := range sums {
+		sum += sums[i]
+		xr ^= xors[i]
+	}
+	return Fingerprint{
+		Hi: mix64(h ^ sum),
+		Lo: mix64(h ^ xr ^ (sum<<32 | sum>>32)),
+	}
+}

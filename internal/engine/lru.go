@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"container/list"
+
+	"sparta/internal/core"
+)
+
+// planKey identifies one cached prepared plan: the content fingerprint of Y
+// plus everything that changes the built table — the contract-mode spec and
+// the kernel/bucket build settings. Thread count is deliberately excluded
+// (it changes build speed, not the table).
+type planKey struct {
+	fp      Fingerprint
+	modes   string // canonical "2,0"-style encoding of cmodesY
+	kernel  core.Kernel
+	buckets int
+	twoPass bool
+}
+
+// lruEntry is one resident plan with its accounted size.
+type lruEntry struct {
+	key   planKey
+	prep  *core.PreparedY
+	bytes uint64
+}
+
+// lruCache is a doubly-linked-list LRU over prepared plans with an entry
+// cap and an optional byte budget. Not self-locking — the Engine serializes
+// access (cache operations are pointer shuffles; the expensive work, the
+// HtY build, happens outside the lock).
+type lruCache struct {
+	maxEntries int
+	maxBytes   uint64 // 0 = no byte budget
+
+	bytes uint64
+	ll    *list.List // front = most recently used
+	items map[planKey]*list.Element
+}
+
+func newLRU(maxEntries int, maxBytes uint64) *lruCache {
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[planKey]*list.Element{},
+	}
+}
+
+// get returns the plan for k, promoting it to most-recently-used.
+func (c *lruCache) get(k planKey) (*core.PreparedY, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).prep, true
+}
+
+// add inserts a plan (keeping an existing entry for the same key — the
+// first build wins so concurrent preparers converge on one table) and
+// evicts from the cold end until both budgets hold. It returns the plan
+// now cached under k and the number of evictions.
+func (c *lruCache) add(k planKey, prep *core.PreparedY) (*core.PreparedY, int) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).prep, 0
+	}
+	e := &lruEntry{key: k, prep: prep, bytes: prep.Bytes()}
+	c.items[k] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	evicted := 0
+	for c.over() {
+		back := c.ll.Back()
+		if back == nil || back.Value.(*lruEntry).key == k {
+			break // never evict the entry just inserted
+		}
+		c.remove(back)
+		evicted++
+	}
+	return prep, evicted
+}
+
+// over reports whether either budget is exceeded (an oversized single entry
+// is allowed to stay — the cache must be able to hold the working plan).
+func (c *lruCache) over() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	return c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 1
+}
+
+func (c *lruCache) remove(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

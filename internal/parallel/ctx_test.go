@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForChunkedCtxCompletes(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		var sum atomic.Int64
+		err := ForChunkedCtx(context.Background(), threads, 1000, 16, func(_, lo, hi int) {
+			sum.Add(int64(hi - lo))
+		})
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if sum.Load() != 1000 {
+			t.Fatalf("threads=%d: covered %d of 1000", threads, sum.Load())
+		}
+	}
+}
+
+// TestForChunkedCtxCancel: a context canceled mid-run stops further chunk
+// claims and surfaces ctx.Err() from both the serial and parallel paths.
+func TestForChunkedCtxCancel(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		err := ForChunkedCtx(ctx, threads, 1_000_000, 1, func(_, lo, hi int) {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("threads=%d: err = %v, want context.Canceled", threads, err)
+		}
+		// The loop must have stopped far short of the full range.
+		if n := calls.Load(); n > 1000 {
+			t.Errorf("threads=%d: %d chunks ran after cancellation", threads, n)
+		}
+	}
+}
+
+func TestForChunkedWorkCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the loop starts: no body call at all
+	var calls atomic.Int64
+	err := ForChunkedWorkCtx(ctx, 4, 1000, 8, 1000, func(_, lo, hi int) {
+		calls.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d chunks ran under a pre-canceled context", calls.Load())
+	}
+}
+
+func TestForChunkedWorkCtxCompletes(t *testing.T) {
+	var sum atomic.Int64
+	err := ForChunkedWorkCtx(context.Background(), 4, 777, 0, 777, func(_, lo, hi int) {
+		sum.Add(int64(hi - lo))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 777 {
+		t.Fatalf("covered %d of 777", sum.Load())
+	}
+}
+
+// TestForChunkedBackgroundUnchanged: the ctx-less wrappers keep their
+// original semantics (full coverage, no error path).
+func TestForChunkedBackgroundUnchanged(t *testing.T) {
+	var sum atomic.Int64
+	ForChunked(3, 500, 7, func(_, lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 500 {
+		t.Fatalf("ForChunked covered %d of 500", sum.Load())
+	}
+	sum.Store(0)
+	ForChunkedWork(3, 500, 7, 500, func(_, lo, hi int) { sum.Add(int64(hi - lo)) })
+	if sum.Load() != 500 {
+		t.Fatalf("ForChunkedWork covered %d of 500", sum.Load())
+	}
+}

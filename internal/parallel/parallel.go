@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,16 @@ func For(threads, n int, body func(tid, lo, hi int)) {
 // counter — dynamic load balancing for irregular work such as sub-tensors
 // with skewed non-zero counts. chunk < 1 picks a heuristic.
 func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
+	_ = ForChunkedCtx(context.Background(), threads, n, chunk, body)
+}
+
+// ForChunkedCtx is ForChunked with a cancellation checkpoint between chunk
+// claims: when ctx is done, workers stop claiming new chunks, the in-flight
+// chunks run to completion (bodies never observe a torn range), and the call
+// returns ctx.Err(). The chunks already executed are NOT rolled back — the
+// caller owns discarding partial state. A Background context costs nothing
+// on the claim path (its Done channel is nil).
+func ForChunkedCtx(ctx context.Context, threads, n, chunk int, body func(tid, lo, hi int)) error {
 	threads = Clamp(threads, n)
 	if chunk < 1 {
 		chunk = (n + threads*8 - 1) / (threads * 8)
@@ -85,15 +96,23 @@ func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
 			chunk = 1
 		}
 	}
+	done := ctx.Done()
 	if threads == 1 {
 		for lo := 0; lo < n; lo += chunk {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
 			body(0, lo, hi)
 		}
-		return
+		return nil
 	}
 	// Chunks are claimed with a single atomic fetch-add: every chunk is the
 	// same size, so the claimed range is a pure function of the returned
@@ -105,6 +124,13 @@ func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
 		go func(tid int) {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if lo >= n {
 					return
@@ -118,6 +144,7 @@ func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
 		}(t)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ForChunkedWork is ForChunked with a ClampWork serial fallback: stages whose
@@ -125,6 +152,11 @@ func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
 // total non-zero count so tiny contractions skip the goroutine machinery.
 func ForChunkedWork(threads, n, chunk int, work int64, body func(tid, lo, hi int)) {
 	ForChunked(ClampWork(threads, n, work), n, chunk, body)
+}
+
+// ForChunkedWorkCtx is ForChunkedCtx with the ClampWork serial fallback.
+func ForChunkedWorkCtx(ctx context.Context, threads, n, chunk int, work int64, body func(tid, lo, hi int)) error {
+	return ForChunkedCtx(ctx, ClampWork(threads, n, work), n, chunk, body)
 }
 
 // Fanout is a depth-budgeted goroutine spawner for divide-and-conquer

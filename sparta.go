@@ -28,11 +28,13 @@
 package sparta
 
 import (
+	"context"
 	"io"
 
 	"sparta/internal/blocksparse"
 	"sparta/internal/coo"
 	"sparta/internal/core"
+	"sparta/internal/engine"
 	"sparta/internal/gen"
 	"sparta/internal/hetmem"
 	"sparta/internal/hicoo"
@@ -110,6 +112,43 @@ const (
 func Contract(x, y *Tensor, cmodesX, cmodesY []int, opt Options) (*Tensor, *Report, error) {
 	return core.Contract(x, y, cmodesX, cmodesY, opt)
 }
+
+// ContractCtx is Contract with cancellation: a canceled context or expired
+// deadline stops the contraction at the next parallel chunk boundary and
+// returns ctx.Err().
+func ContractCtx(ctx context.Context, x, y *Tensor, cmodesX, cmodesY []int, opt Options) (*Tensor, *Report, error) {
+	return core.ContractCtx(ctx, x, y, cmodesX, cmodesY, opt)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared contractions
+
+// PreparedY is a contraction plan with the Y-side hash table already built
+// (stage ① charged once): Prepare once, then Contract many X tensors
+// against it. Safe for concurrent use and immune to later mutation of the
+// source Y. Warm calls set Report.HtYReused.
+type PreparedY = core.PreparedY
+
+// Prepare builds the Y-side plan for contracting cmodesY of y under opt's
+// algorithm settings (AlgSparta only — the baselines have no reusable Y
+// structure).
+func Prepare(y *Tensor, cmodesY []int, opt Options) (*PreparedY, error) {
+	return core.PrepareY(y, cmodesY, opt)
+}
+
+// Engine caches prepared plans in an LRU keyed by a content fingerprint of
+// Y plus the contract-mode spec, so repeated contractions against the same
+// Y — chains, serving workloads — skip the HtY build automatically.
+type Engine = engine.Engine
+
+// EngineConfig sizes an Engine's plan cache.
+type EngineConfig = engine.Config
+
+// EngineStats is a snapshot of an Engine's cache counters.
+type EngineStats = engine.Stats
+
+// NewEngine builds a caching contraction engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
 
 // ChooseY reports whether the paper's "larger tensor is Y" rule suggests
 // swapping the operands (note that swapping reorders the output modes to
