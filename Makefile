@@ -27,8 +27,8 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sptc-lint ./...
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine
-	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine
+	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
+	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
 
 # bench prints the chained-vs-flat hash-kernel duel without writing JSON.
 bench:
@@ -36,10 +36,16 @@ bench:
 
 # bench-json regenerates the committed BENCH_*.json files at the repo root
 # (scale 20000 so every cell's work dwarfs scheduling noise): BENCH_1.json is
-# the hash-kernel duel, BENCH_2.json the sort/fused-writeback duel.
+# the hash-kernel duel, BENCH_2.json the sort/fused-writeback duel,
+# BENCH_3.json the contraction-order planner duel. Every file carries the
+# shared "meta" block (commit, go version, GOMAXPROCS, scale, seed, reps,
+# dataset); the commit is stamped here because `go run` builds carry no VCS
+# revision.
+COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 bench-json:
-	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -json BENCH_1.json
-	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -json BENCH_2.json
+	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -commit "$(COMMIT)" -json BENCH_1.json
+	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -commit "$(COMMIT)" -json BENCH_2.json
+	$(GO) run ./cmd/sptc-bench -exp planner -scale 20000 -commit "$(COMMIT)" -json BENCH_3.json
 
 clean:
 	$(GO) clean ./...

@@ -2,7 +2,11 @@
 // figure (DESIGN.md §4 maps each to its experiment). Workload sizes default
 // to laptop scale; the sptc-bench command runs the same experiments with a
 // -scale flag for larger sweeps.
-package sparta
+//
+// This is an external test package (sparta_test): internal/bench imports
+// the root package for the planner duel, so an in-package test file could
+// not import it back without a cycle.
+package sparta_test
 
 import (
 	"fmt"

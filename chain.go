@@ -49,9 +49,28 @@ func EvalChain(steps []ChainStep, inputs map[string]*Tensor, opt Options) (*Chai
 // (Report.HtYReused). The cache recognizes tensors by fingerprint, so
 // in-place mutation of an intermediate between uses never yields a stale
 // table.
+//
+// With Options.Planner == PlannerAuto the chain first runs through the
+// cost-based contraction-order planner (see PlanChain): when the fitted
+// model prices a different tree below the written order, the reordered
+// steps execute instead. The final output keeps its name, modes, and
+// values; intermediate names become planner-generated ("plan·0", …) and
+// each step's Report carries PlannedOrder and EstimatedNNZ. Chains the
+// planner cannot reorder — or cannot improve — run exactly as written;
+// planning never turns a valid chain into an error.
 func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Tensor, opt Options) (*ChainResult, error) {
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("chain: no steps")
+	}
+	var planRes *PlanResult
+	if opt.Planner == PlannerAuto {
+		// Planner failures fall back to the written order: a malformed
+		// chain surfaces its error from naive execution below, where the
+		// step index and spec are reported.
+		if pr, err := PlanChain(steps, inputs, opt); err == nil && pr.Planned {
+			planRes = pr
+			steps = pr.Steps
+		}
 	}
 	res := &ChainResult{Tensors: make(map[string]*Tensor, len(inputs)+len(steps))}
 	for name, t := range inputs {
@@ -102,8 +121,14 @@ func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Ten
 		if err != nil {
 			return nil, fmt.Errorf("chain: step %d (%s): %w", i, st.Spec, err)
 		}
+		if planRes != nil {
+			rep.PlannedOrder = planRes.StepOrders[i]
+			rep.EstimatedNNZ = planRes.EstNNZ[i]
+		}
 		res.Tensors[st.Out] = z
 		res.Reports = append(res.Reports, rep)
 	}
+	// Feed the measured stage walls back to the planner's model fit.
+	observeReports(res.Reports)
 	return res, nil
 }

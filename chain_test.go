@@ -150,6 +150,91 @@ func TestEvalChainReusesPreparedY(t *testing.T) {
 	}
 }
 
+// chainOracle evaluates a chain the maximally defensive way: every step
+// runs one-shot Einsum on clones of its operands, so no aliasing or
+// in-place optimization can possibly apply. EvalChain must match it.
+func chainOracle(t *testing.T, steps []ChainStep, inputs map[string]*Tensor, opt Options) map[string]*Tensor {
+	t.Helper()
+	env := map[string]*Tensor{}
+	for k, v := range inputs {
+		env[k] = v.Clone()
+	}
+	for _, st := range steps {
+		z, _, err := Einsum(st.Spec, env[st.X].Clone(), env[st.Y].Clone(), opt)
+		if err != nil {
+			t.Fatalf("oracle step %s: %v", st.Spec, err)
+		}
+		env[st.Out] = z
+	}
+	return env
+}
+
+// TestEvalChainAliasingEdges drives the in-place machinery through every
+// aliasing shape at once — a step with X == Y, an input referenced by
+// several steps, an intermediate later used as both X and Y of one step —
+// and checks (a) all outputs match the clone-everything oracle and (b) no
+// input tensor is ever mutated.
+func TestEvalChainAliasingEdges(t *testing.T) {
+	for _, kernel := range []Kernel{KernelFlat, KernelChained} {
+		a := Random([]uint64{8, 8}, 40, 71)
+		b := Random([]uint64{8, 8}, 40, 72)
+		snapA, snapB := a.Clone(), b.Clone()
+		steps := []ChainStep{
+			// A appears in three steps; G's step has X == Y (same input).
+			{Out: "G", Spec: "ab,cb->ac", X: "A", Y: "A"},
+			{Out: "H", Spec: "ab,bc->ac", X: "A", Y: "B"},
+			// G is used as both X and Y of one later step (self-square).
+			{Out: "GG", Spec: "ac,cd->ad", X: "G", Y: "G"},
+			// H used twice: once as X here, once as Y below.
+			{Out: "P", Spec: "ad,dc->ac", X: "GG", Y: "H"},
+			{Out: "Z", Spec: "ac,ac->", X: "P", Y: "H"},
+		}
+		inputs := map[string]*Tensor{"A": a, "B": b}
+		opt := Options{Algorithm: AlgSparta, Kernel: kernel}
+		res, err := EvalChain(steps, inputs, opt)
+		if err != nil {
+			t.Fatalf("kernel %v: %v", kernel, err)
+		}
+		oracle := chainOracle(t, steps, inputs, opt)
+		for _, name := range []string{"G", "H", "GG", "P", "Z"} {
+			if !res.Tensors[name].Equal(oracle[name]) {
+				t.Errorf("kernel %v: %q differs from clone-everything oracle", kernel, name)
+			}
+		}
+		if !a.Equal(snapA) || !b.Equal(snapB) {
+			t.Fatalf("kernel %v: inputs mutated by the chain", kernel)
+		}
+	}
+}
+
+// TestEvalChainAliasingWithPlanner runs the same aliasing chain under
+// PlannerAuto: whatever the planner decides (this chain is unplannable —
+// H is consumed twice), outputs and input immutability must hold.
+func TestEvalChainAliasingWithPlanner(t *testing.T) {
+	a := Random([]uint64{8, 8}, 40, 81)
+	b := Random([]uint64{8, 8}, 40, 82)
+	snapA, snapB := a.Clone(), b.Clone()
+	steps := []ChainStep{
+		{Out: "G", Spec: "ab,cb->ac", X: "A", Y: "A"},
+		{Out: "H", Spec: "ab,bc->ac", X: "A", Y: "B"},
+		{Out: "P", Spec: "ac,cd->ad", X: "G", Y: "H"},
+		{Out: "Z", Spec: "ad,ad->", X: "P", Y: "P"},
+	}
+	inputs := map[string]*Tensor{"A": a, "B": b}
+	opt := Options{Algorithm: AlgSparta, Planner: PlannerAuto}
+	res, err := EvalChain(steps, inputs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := chainOracle(t, steps, inputs, Options{Algorithm: AlgSparta})
+	if !res.Tensors["Z"].Equal(oracle["Z"]) {
+		t.Error("planner-auto output differs from oracle")
+	}
+	if !a.Equal(snapA) || !b.Equal(snapB) {
+		t.Fatal("inputs mutated")
+	}
+}
+
 // TestEvalChainCtxCancel: a canceled context aborts the chain mid-way.
 func TestEvalChainCtxCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

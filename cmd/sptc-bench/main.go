@@ -61,6 +61,7 @@ var experiments = []struct {
 	{"duel", "stage-by-stage algorithm comparison on one workload", bench.Duel},
 	{"kernels", "hash-kernel duel: chained (seed) vs flat open addressing", runKernels},
 	{"sort", "sort duel: quicksort vs radix, unfused vs fused writeback", runSort},
+	{"planner", "contraction-order duel: written chains vs cost-based planner", runPlanner},
 	{"twophase", "symbolic+numeric two-phase SpTC vs Sparta's dynamic allocation", bench.TwoPhase},
 	{"formats", "storage formats: COO vs CSF vs HiCOO footprint and scan", bench.Formats},
 	{"reorder", "frequency index reordering: block density and Sparta time", bench.Reorder},
@@ -77,10 +78,11 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/pprof, /debug/vars on this address")
 		hold        = flag.Duration("hold", 0, "keep serving -metrics-addr this long after the experiments finish")
 	)
-	flag.StringVar(&duelJSON, "json", "", "for -exp kernels/sort: also write the duel rows to this JSON file")
+	commit := flag.String("commit", "", "git revision recorded in -json metadata (default: the binary's stamped vcs.revision)")
+	flag.StringVar(&duelJSON, "json", "", "for -exp kernels/sort/planner: also write the duel rows to this JSON file")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac}
+	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac, Commit: *commit}
 	if *tracePath != "" {
 		cfg.Tracer = obs.NewTracer()
 	}
@@ -171,10 +173,11 @@ func printHistograms(w io.Writer, reg *obs.Registry) {
 	}
 }
 
-// duelJSON is the -json flag: when set, the kernels and sort experiments
-// also persist their rows (this is how BENCH_1.json and BENCH_2.json at the
-// repo root are produced: sptc-bench -exp kernels -json BENCH_1.json and
-// sptc-bench -exp sort -json BENCH_2.json).
+// duelJSON is the -json flag: when set, the kernels, sort, and planner
+// experiments also persist their rows (this is how the BENCH_*.json files
+// at the repo root are produced: sptc-bench -exp kernels -json BENCH_1.json,
+// -exp sort -json BENCH_2.json, -exp planner -json BENCH_3.json — see
+// `make bench-json`).
 var duelJSON string
 
 func runKernels(w io.Writer, cfg bench.Config) error {
@@ -183,6 +186,10 @@ func runKernels(w io.Writer, cfg bench.Config) error {
 
 func runSort(w io.Writer, cfg bench.Config) error {
 	return bench.SortJSON(w, cfg, duelJSON)
+}
+
+func runPlanner(w io.Writer, cfg bench.Config) error {
+	return bench.PlannerJSON(w, cfg, duelJSON)
 }
 
 func runTable3(w io.Writer, cfg bench.Config) error {

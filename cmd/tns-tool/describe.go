@@ -1,12 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"sparta/internal/obs"
+	"sparta/internal/plan"
 	"sparta/internal/stats"
 )
 
@@ -14,9 +14,12 @@ import (
 // occupancy, skew (imbalance of the per-index non-zero counts, the quantity
 // that drives Sparta's sub-tensor load balance when the mode becomes the
 // split dimension), and nnz-per-index distribution histograms rendered with
-// the observability layer's bucketing.
+// the observability layer's bucketing. With -json it emits the exact
+// machine-readable statistics the contraction-order planner consumes
+// (plan.TensorStats), so offline analysis and the planner read one schema.
 func describeCmd(args []string) error {
 	fs := flag.NewFlagSet("describe", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the planner's TensorStats as JSON instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -27,61 +30,36 @@ func describeCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	card := 1.0
-	for _, d := range t.Dims {
-		card *= float64(d)
+	st := plan.StatsOf(t)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
 	}
+
 	fmt.Printf("%v\n", t)
 	fmt.Printf("order    %d\n", t.Order())
-	fmt.Printf("nnz      %d\n", t.NNZ())
-	fmt.Printf("density  %.3e\n", float64(t.NNZ())/card)
-	fmt.Printf("payload  %s\n", stats.FormatBytes(t.Bytes()))
+	fmt.Printf("nnz      %d\n", st.NNZ)
+	fmt.Printf("density  %.3e\n", st.Density)
+	fmt.Printf("payload  %s\n", stats.FormatBytes(st.Bytes))
 
 	tab := stats.NewTable("Mode", "Size", "Distinct", "MinIdx", "MaxIdx", "Occupancy", "MeanNNZ", "MaxNNZ", "Imbalance")
-	shards := make([]*obs.HistShard, t.Order())
-	for m := range t.Dims {
-		counts := map[uint32]uint64{}
-		min, max := uint32(math.MaxUint32), uint32(0)
-		for _, v := range t.Inds[m] {
-			counts[v]++
-			if v < min {
-				min = v
-			}
-			if v > max {
-				max = v
-			}
-		}
-		if t.NNZ() == 0 {
-			min = 0
-		}
-		var maxCnt uint64
-		sh := obs.NewHistShard(obs.ProbeBuckets)
-		for _, c := range counts {
-			sh.Observe(float64(c))
-			if c > maxCnt {
-				maxCnt = c
-			}
-		}
-		shards[m] = sh
-		var meanCnt, imbalance float64
-		if len(counts) > 0 {
-			meanCnt = float64(t.NNZ()) / float64(len(counts))
-			imbalance = float64(maxCnt) / meanCnt
-		}
-		tab.Row(m, t.Dims[m], len(counts), min, max,
-			fmt.Sprintf("%.1f%%", 100*float64(len(counts))/float64(t.Dims[m])),
-			meanCnt, maxCnt, imbalance)
+	for m, ms := range st.Modes {
+		tab.Row(m, ms.Size, ms.Distinct, ms.MinIdx, ms.MaxIdx,
+			fmt.Sprintf("%.1f%%", 100*float64(ms.Distinct)/float64(ms.Size)),
+			ms.MeanCount, ms.MaxCount, ms.Imbalance)
 	}
 	tab.Render(os.Stdout)
 
-	for m, sh := range shards {
-		if sh.Count() == 0 {
+	for m, ms := range st.Modes {
+		if ms.Distinct == 0 {
 			continue
 		}
 		fmt.Println()
 		stats.RenderHistogram(os.Stdout,
 			fmt.Sprintf("mode %d: non-zeros per used index", m),
-			obs.ProbeBuckets, sh.Counts())
+			ms.HistBounds, ms.HistCounts)
 	}
 	return nil
 }

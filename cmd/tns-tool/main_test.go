@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
 	"sparta"
+	"sparta/internal/plan"
 )
 
 func write(t *testing.T, path string, ten *sparta.Tensor) {
@@ -26,6 +30,9 @@ func TestSubcommands(t *testing.T) {
 	}
 	if err := run([]string{"describe", tns}); err != nil {
 		t.Fatalf("describe: %v", err)
+	}
+	if err := run([]string{"describe", "-json", tns}); err != nil {
+		t.Fatalf("describe -json: %v", err)
 	}
 	if err := run([]string{"head", "-n", "3", tns}); err != nil {
 		t.Fatalf("head: %v", err)
@@ -93,5 +100,46 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"permute", "-perm", "a,b", "-o", "/tmp/x.tns", "x.tns"}); err == nil {
 		t.Error("bad permutation accepted")
+	}
+}
+
+// TestDescribeJSON checks the -json output parses back into the planner's
+// TensorStats schema with the right headline numbers.
+func TestDescribeJSON(t *testing.T) {
+	dir := t.TempDir()
+	x := sparta.Random([]uint64{6, 5, 4}, 50, 9)
+	tns := filepath.Join(dir, "x.tns")
+	write(t, tns, x)
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"describe", "-json", tns})
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("describe -json: %v", runErr)
+	}
+	var st plan.TensorStats
+	if err := json.Unmarshal(out, &st); err != nil {
+		t.Fatalf("output is not TensorStats JSON: %v\n%s", err, out)
+	}
+	if st.NNZ != x.NNZ() || len(st.Modes) != x.Order() {
+		t.Fatalf("stats mismatch: nnz %d modes %d", st.NNZ, len(st.Modes))
+	}
+	for m, ms := range st.Modes {
+		if ms.Size != x.Dims[m] {
+			t.Errorf("mode %d size %d, want %d", m, ms.Size, x.Dims[m])
+		}
+		if ms.Distinct == 0 || len(ms.HistCounts) != len(ms.HistBounds)+1 {
+			t.Errorf("mode %d histogram shape off", m)
+		}
 	}
 }

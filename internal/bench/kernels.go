@@ -45,12 +45,10 @@ type kernelDuelRow struct {
 }
 
 // kernelDuelFile is the BENCH_1.json schema: the first point of the bench
-// trajectory (chained seed kernels vs flat kernels, per stage).
+// trajectory (chained seed kernels vs flat kernels, per stage), under the
+// shared Meta header all BENCH_*.json files carry.
 type kernelDuelFile struct {
-	Bench   string          `json:"bench"`
-	Scale   int             `json:"scale"`
-	Seed    int64           `json:"seed"`
-	Reps    int             `json:"reps"`
+	Meta    Meta            `json:"meta"`
 	Configs []kernelDuelRow `json:"configs"`
 }
 
@@ -136,7 +134,7 @@ func KernelsJSON(w io.Writer, c Config, jsonPath string) error {
 	}
 	fmt.Fprintf(w, "Hash-kernel duel: chained (seed) vs flat open-addressing, %d reps/cell (min)\n", kernelDuelReps)
 	tab := stats.NewTable("Workload", "Threads", "Kernel", "HtYBuild", "Search", "Accum", "Write", "Total", "NNZZ", "Hot x")
-	file := kernelDuelFile{Bench: "kernels", Scale: c.Scale, Seed: c.Seed, Reps: kernelDuelReps}
+	file := kernelDuelFile{Meta: c.meta("kernels", "synthetic Table-3 presets (NIPS, Vast, Uber), self-contractions", kernelDuelReps)}
 	for _, wl := range workloads {
 		for _, threads := range threadSweep {
 			chained, err := runKernelCell(c, wl, core.KernelChained, threads)

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Meta is the shared metadata block every committed BENCH_*.json carries,
+// so runs are comparable across machines and commits without guessing at
+// the regime they were produced under. One schema for every duel file:
+//
+//	{"meta": {...}, <duel-specific row arrays>}
+type Meta struct {
+	// Bench names the experiment ("kernels", "sort", "planner").
+	Bench string `json:"bench"`
+	// Commit is the git revision the run was built from (sptc-bench
+	// -commit, which the Makefile wires to `git rev-parse --short HEAD`;
+	// falls back to the toolchain's stamped vcs.revision when present).
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the process's scheduler width at run time — the cap on
+	// every -t sweep in the rows.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Scale and Seed are the generator regime shared by all rows.
+	Scale int   `json:"scale"`
+	Seed  int64 `json:"seed"`
+	// Reps is the per-cell repetition count (cells keep min-of-reps walls).
+	Reps int `json:"reps"`
+	// Dataset describes what the rows contract.
+	Dataset string `json:"dataset"`
+}
+
+// meta assembles the block for one duel run.
+func (c Config) meta(bench, dataset string, reps int) Meta {
+	commit := c.Commit
+	if commit == "" {
+		commit = vcsRevision()
+	}
+	return Meta{
+		Bench:      bench,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      c.Scale,
+		Seed:       c.Seed,
+		Reps:       reps,
+		Dataset:    dataset,
+	}
+}
+
+// vcsRevision reads the build-info VCS stamp (present in `go build` from a
+// clean checkout, absent under `go run`), abbreviated like git's default.
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sparta"
+	"sparta/internal/stats"
+)
+
+// This file is the -exp planner duel (BENCH_3.json): CCSD-style 4–6 step
+// contraction networks evaluated in their written (naive) order vs the
+// cost-based planner's order. Tensors carry small positive integer values,
+// so every product and partial sum is exact in float64 and any contraction
+// order must produce a bitwise-identical final tensor — which the duel
+// asserts per row (identical_output).
+
+// plannerDuelRow is one network's naive-vs-planned cell.
+type plannerDuelRow struct {
+	Network string `json:"network"`
+	Steps   int    `json:"steps"`
+	// Planned is false when the planner kept the written order (the
+	// control network); Reason says why.
+	Planned      bool   `json:"planned"`
+	Reason       string `json:"reason,omitempty"`
+	NaiveOrder   string `json:"naive_order"`
+	PlannedOrder string `json:"planned_order"`
+	// Model estimates (ns) the decision was made on.
+	NaiveCostNS   float64 `json:"naive_cost_ns"`
+	PlannedCostNS float64 `json:"planned_cost_ns"`
+	// Measured end-to-end chain walls, min over reps; the planned wall
+	// includes the planning pass itself (stats, estimator, DP).
+	NaiveNS   int64 `json:"naive_ns"`
+	PlannedNS int64 `json:"planned_ns"`
+	// Speedup = naive/planned measured wall (>1 means planning won).
+	Speedup float64 `json:"speedup_naive_over_planned"`
+	// Measured work the model predicts: total products and the largest
+	// intermediate nnz, both orders.
+	NaiveProducts   uint64 `json:"naive_products"`
+	PlannedProducts uint64 `json:"planned_products"`
+	NaivePeakNNZ    int    `json:"naive_peak_nnz"`
+	PlannedPeakNNZ  int    `json:"planned_peak_nnz"`
+	// Identical reports the two final tensors are bitwise equal.
+	Identical bool `json:"identical_output"`
+}
+
+// plannerDuelFile is the BENCH_3.json schema.
+type plannerDuelFile struct {
+	Meta     Meta             `json:"meta"`
+	Networks []plannerDuelRow `json:"networks"`
+}
+
+// plannerDuelReps matches the other duels: min wall across reps per order.
+const plannerDuelReps = 3
+
+// plannerNetwork is one duel case: a named chain over named inputs.
+type plannerNetwork struct {
+	name    string
+	steps   []sparta.ChainStep
+	tensors map[string]*sparta.Tensor
+}
+
+// intValued replaces a tensor's values with small positive integers, making
+// contraction arithmetic exact under any association order.
+func intValued(t *sparta.Tensor) *sparta.Tensor {
+	for i := range t.Vals {
+		t.Vals[i] = float64(1 + i%3)
+	}
+	return t
+}
+
+// plannerNetworks builds the duel lineup, scaled by c.Scale (the big
+// tensors' nnz). The written orders are adversarial on the first two
+// networks — the largest tensors contract first, inflating every
+// intermediate — and already optimal on the control.
+func plannerNetworks(c Config) []plannerNetwork {
+	scale := c.Scale
+	if scale < 400 {
+		scale = 400
+	}
+	seed := c.Seed
+
+	// mc5-badorder: a 5-matrix chain written left-associated; the tiny last
+	// matrix (4-wide) collapses everything, so the right association is
+	// orders of magnitude cheaper.
+	dim := uint64(60)
+	mc5 := plannerNetwork{
+		name: "mc5-badorder",
+		steps: []sparta.ChainStep{
+			{Out: "P1", Spec: "ab,bc->ac", X: "M1", Y: "M2"},
+			{Out: "P2", Spec: "ac,cd->ad", X: "P1", Y: "M3"},
+			{Out: "P3", Spec: "ad,de->ae", X: "P2", Y: "M4"},
+			{Out: "Z", Spec: "ae,ef->af", X: "P3", Y: "M5"},
+		},
+		tensors: map[string]*sparta.Tensor{
+			"M1": intValued(sparta.Random([]uint64{dim, dim}, scale, seed)),
+			"M2": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+1)),
+			"M3": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+2)),
+			"M4": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+3)),
+			"M5": intValued(sparta.Random([]uint64{dim, 4}, scale/50+8, seed+4)),
+		},
+	}
+
+	// ccsd-badorder: CCSD-flavored — an order-4 amplitude tensor T[abij]
+	// threaded through four mid-size integral matrices and a tiny
+	// occupancy-like Q[di] that eliminates both remaining non-output modes.
+	// Written so T (the big tensor) contracts first; the planner should
+	// collapse from the Q end instead.
+	d2 := uint64(24)
+	ccsd := plannerNetwork{
+		name: "ccsd-badorder",
+		steps: []sparta.ChainStep{
+			{Out: "W1", Spec: "abij,jk->abik", X: "T", Y: "V"},
+			{Out: "W2", Spec: "abik,kl->abil", X: "W1", Y: "U"},
+			{Out: "W3", Spec: "abil,lc->abic", X: "W2", Y: "S"},
+			{Out: "W4", Spec: "abic,cd->abid", X: "W3", Y: "R"},
+			{Out: "Z", Spec: "abid,di->ab", X: "W4", Y: "Q"},
+		},
+		tensors: map[string]*sparta.Tensor{
+			"T": intValued(sparta.Random([]uint64{d2, d2, d2, d2}, 2*scale, seed+10)),
+			"V": intValued(sparta.Random([]uint64{d2, d2}, scale/4+16, seed+11)),
+			"U": intValued(sparta.Random([]uint64{d2, d2}, scale/4+16, seed+12)),
+			"S": intValued(sparta.Random([]uint64{d2, d2}, scale/4+16, seed+13)),
+			"R": intValued(sparta.Random([]uint64{d2, d2}, scale/4+16, seed+14)),
+			"Q": intValued(sparta.Random([]uint64{d2, d2}, 20, seed+15)),
+		},
+	}
+
+	// mc4-goodorder: the control — the same collapse-first shape already
+	// written optimally. The planner must keep it (planned=false) and the
+	// duel still asserts bitwise-identical execution.
+	good := plannerNetwork{
+		name: "mc4-goodorder",
+		steps: []sparta.ChainStep{
+			{Out: "P1", Spec: "cd,de->ce", X: "N3", Y: "N4"},
+			{Out: "P2", Spec: "bc,ce->be", X: "N2", Y: "P1"},
+			{Out: "Z", Spec: "ab,be->ae", X: "N1", Y: "P2"},
+		},
+		tensors: map[string]*sparta.Tensor{
+			"N1": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+20)),
+			"N2": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+21)),
+			"N3": intValued(sparta.Random([]uint64{dim, dim}, scale, seed+22)),
+			"N4": intValued(sparta.Random([]uint64{dim, 4}, scale/50+8, seed+23)),
+		},
+	}
+
+	return []plannerNetwork{mc5, ccsd, good}
+}
+
+// runChainCell evaluates one network under one planner mode plannerDuelReps
+// times, returning the final tensor, min wall, total products, and the
+// largest intermediate nnz.
+func runChainCell(c Config, n plannerNetwork, mode sparta.Planner) (*sparta.Tensor, int64, uint64, int, error) {
+	opt := sparta.Options{
+		Algorithm: sparta.AlgSparta,
+		Threads:   c.Threads,
+		Planner:   mode,
+		Tracer:    c.Tracer,
+		Metrics:   c.Metrics,
+	}
+	var z *sparta.Tensor
+	var wall int64
+	var products uint64
+	var peak int
+	for rep := 0; rep < plannerDuelReps; rep++ {
+		t0 := time.Now()
+		res, err := sparta.EvalChain(n.steps, n.tensors, opt)
+		if err != nil {
+			return nil, 0, 0, 0, fmt.Errorf("%s (%v): %w", n.name, mode, err)
+		}
+		w := int64(time.Since(t0))
+		if rep == 0 || w < wall {
+			wall = w
+		}
+		products, peak = 0, 0
+		for _, r := range res.Reports {
+			products += r.Products
+			if r.NNZZ > peak {
+				peak = r.NNZZ
+			}
+		}
+		z = res.Tensors[n.steps[len(n.steps)-1].Out]
+	}
+	return z, wall, products, peak, nil
+}
+
+// Planner runs the contraction-order duel (no JSON output).
+func Planner(w io.Writer, c Config) error { return PlannerJSON(w, c, "") }
+
+// PlannerJSON is the -exp planner duel: each network runs in written order
+// (PlannerOff) and planned order (PlannerAuto); walls, work, and output
+// identity are compared. When jsonPath is non-empty the rows are written
+// there (BENCH_3.json).
+func PlannerJSON(w io.Writer, c Config, jsonPath string) error {
+	fmt.Fprintf(w, "Contraction-order planner duel: written order vs cost-based plan, %d reps (min)\n", plannerDuelReps)
+	file := plannerDuelFile{Meta: c.meta("planner", "synthetic CCSD-style chains, integer-valued (exact arithmetic)", plannerDuelReps)}
+	tab := stats.NewTable("Network", "Steps", "Planned order", "Naive", "Planned", "Speedup", "Products n/p", "Identical")
+	for _, n := range plannerNetworks(c) {
+		pr, err := sparta.PlanChain(n.steps, n.tensors, sparta.Options{Threads: c.Threads})
+		if err != nil {
+			return fmt.Errorf("planner: %s: %w", n.name, err)
+		}
+		zn, nWall, nProd, nPeak, err := runChainCell(c, n, sparta.PlannerOff)
+		if err != nil {
+			return err
+		}
+		zp, pWall, pProd, pPeak, err := runChainCell(c, n, sparta.PlannerAuto)
+		if err != nil {
+			return err
+		}
+		row := plannerDuelRow{
+			Network:         n.name,
+			Steps:           len(n.steps),
+			Planned:         pr.Planned,
+			Reason:          pr.Reason,
+			NaiveOrder:      pr.NaiveOrder,
+			PlannedOrder:    pr.Order,
+			NaiveCostNS:     pr.NaiveCostNS,
+			PlannedCostNS:   pr.PlannedCostNS,
+			NaiveNS:         nWall,
+			PlannedNS:       pWall,
+			Speedup:         float64(nWall) / float64(pWall),
+			NaiveProducts:   nProd,
+			PlannedProducts: pProd,
+			NaivePeakNNZ:    nPeak,
+			PlannedPeakNNZ:  pPeak,
+			Identical:       zn.Equal(zp),
+		}
+		if !pr.Planned {
+			row.PlannedOrder = pr.NaiveOrder
+		}
+		if !row.Identical {
+			return fmt.Errorf("planner: %s: planned output differs from written order (nnz %d vs %d)",
+				n.name, zp.NNZ(), zn.NNZ())
+		}
+		file.Networks = append(file.Networks, row)
+		tab.Row(n.name, len(n.steps), row.PlannedOrder,
+			time.Duration(nWall), time.Duration(pWall),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d/%d", nProd, pProd),
+			row.Identical)
+	}
+	tab.Render(w)
+	fmt.Fprintln(w, "Speedup = written-order wall / planned wall (planned includes the planning pass).")
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", jsonPath)
+	}
+	return nil
+}

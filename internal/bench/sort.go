@@ -54,12 +54,10 @@ type sortWritebackRow struct {
 	Identical bool `json:"identical_output"`
 }
 
-// sortDuelFile is the BENCH_2.json schema.
+// sortDuelFile is the BENCH_2.json schema, under the shared Meta header
+// all BENCH_*.json files carry.
 type sortDuelFile struct {
-	Bench     string             `json:"bench"`
-	Scale     int                `json:"scale"`
-	Seed      int64              `json:"seed"`
-	Reps      int                `json:"reps"`
+	Meta      Meta               `json:"meta"`
 	StageSort []sortStageRow     `json:"stage_sort"`
 	Writeback []sortWritebackRow `json:"writeback"`
 }
@@ -142,7 +140,7 @@ func SortJSON(w io.Writer, c Config, jsonPath string) error {
 	if c.Threads > 0 {
 		threadSweep = []int{c.Threads}
 	}
-	file := sortDuelFile{Bench: "sort", Scale: c.Scale, Seed: c.Seed, Reps: sortDuelReps}
+	file := sortDuelFile{Meta: c.meta("sort", "synthetic Table-3 presets (NIPS, Uber, Vast), leading- and trailing-mode contractions", sortDuelReps)}
 
 	// Stage-① sorter duel: quicksort (seed) vs radix on the permuted input.
 	// Starred workloads contract the *leading* modes, so the free-modes-first

@@ -54,6 +54,10 @@ type Options struct {
 	// lock contention on tensors with few distinct contract keys at the
 	// cost of an extra pass over Y.
 	TwoPassHtY bool
+	// Planner enables chain-level contraction-order planning
+	// (PlannerAuto). Only EvalChain consults it; single contractions
+	// accept and ignore the field so one Options value can drive both.
+	Planner Planner
 	// MaxOutputNNZ aborts the contraction with an error when the output
 	// would exceed this many non-zeros (0 = unlimited). SpTC outputs can
 	// dwarf both inputs (the paper's challenge 3); the bound is checked
@@ -113,6 +117,11 @@ func checkOptions(opt Options, nnzX, nnzY int) (*Report, error) {
 	case KernelFlat, KernelChained:
 	default:
 		return nil, errBadKernel(opt.Kernel)
+	}
+	switch opt.Planner {
+	case PlannerOff, PlannerAuto:
+	default:
+		return nil, fmt.Errorf("core: unknown planner mode %d", int(opt.Planner))
 	}
 	threads := opt.Threads
 	if threads < 1 {

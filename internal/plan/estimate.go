@@ -1,0 +1,187 @@
+package plan
+
+import "math"
+
+// This file is the sparsity estimator: given two tensors' per-mode
+// statistics, predict the products performed and the output nnz of their
+// contraction without touching the data. The model, mode by mode:
+//
+// Match probability. For one contracted mode of size s, the expected number
+// of (x, y) non-zero pairs agreeing on that mode is Σᵢ cX(i)·cY(i) over the
+// per-index counts. When both sides carry heavy-hitter lists (leaves), the
+// sum splits into heavy∩heavy (exact), heavy×residual (heavy count times
+// the residual side's mean density nnzR/s), and residual×residual
+// (nnzRX·nnzRY/s — exact in expectation for independently placed indices).
+// Intermediates have no heavy lists; they use the uniform nnzX·nnzY/s term.
+// Modes are treated as independent, so the match probability of a full
+// contract-key tuple is the product of per-mode probabilities.
+//
+// Products. P = nnzX · nnzY · Π_m J_m with J_m the per-mode match
+// probability.
+//
+// Output nnz. P products scatter over the free-key space F = FX·FY, where
+// each side's distinct free-tuple count is capped by its nnz (a tensor
+// cannot have more distinct free tuples than non-zeros):
+// FX = min(nnzX, Π distinct). Balls-into-bins collapse duplicates:
+// nnzZ ≈ F·(1 − exp(−P/F)).
+//
+// Per-var distinct counts survive into the intermediate the same way:
+// d_Z(v) ≈ d·(1 − exp(−nnzZ/d)), capped at the source tensor's distinct
+// count — what the next level of the tree consumes.
+
+// estTensor is the estimator's view of a real or hypothetical tensor:
+// its vars (global mode identities, in storage order), nnz, per-var
+// distinct estimates, and — for leaves only — the full ModeStats that
+// enable the skew-aware match terms.
+type estTensor struct {
+	vars []int
+	nnz  float64
+	dist map[int]float64
+	mode map[int]*ModeStats // nil entries for intermediates
+}
+
+// leafEst builds the estimator view of a concrete tensor.
+func leafEst(vars []int, st *TensorStats) estTensor {
+	e := estTensor{
+		vars: vars,
+		nnz:  float64(st.NNZ),
+		dist: make(map[int]float64, len(vars)),
+		mode: make(map[int]*ModeStats, len(vars)),
+	}
+	for m, v := range vars {
+		e.dist[v] = float64(st.Modes[m].Distinct)
+		e.mode[v] = &st.Modes[m]
+	}
+	return e
+}
+
+// matchProb estimates the per-mode match probability J_m = Σ cX·cY /
+// (nnzX·nnzY) for var v of size between x and y.
+func matchProb(x, y estTensor, v int, size float64) float64 {
+	if x.nnz == 0 || y.nnz == 0 || size <= 0 {
+		return 0
+	}
+	mx, okx := x.mode[v]
+	my, oky := y.mode[v]
+	if !okx || !oky || mx == nil || my == nil {
+		// Intermediate on at least one side: uniform residual term only.
+		return 1 / size
+	}
+	sum := matchSum(mx, my, size)
+	return sum / (x.nnz * y.nnz)
+}
+
+// matchSum estimates Σᵢ cX(i)·cY(i) from two modes' heavy lists and
+// residual masses.
+func matchSum(mx, my *ModeStats, size float64) float64 {
+	yHeavy := make(map[uint32]uint64, len(my.Heavy))
+	var heavyYTotal uint64
+	for _, h := range my.Heavy {
+		yHeavy[h.Index] = h.Count
+		heavyYTotal += h.Count
+	}
+	var heavyXTotal uint64
+	var sum float64
+	var xOnlyHeavy float64 // Σ cX over X-heavy indices not heavy in Y
+	for _, h := range mx.Heavy {
+		heavyXTotal += h.Count
+		if cy, ok := yHeavy[h.Index]; ok {
+			sum += float64(h.Count) * float64(cy) // heavy ∩ heavy, exact
+		} else {
+			xOnlyHeavy += float64(h.Count)
+		}
+	}
+	var yOnlyHeavy float64
+	xHeavy := make(map[uint32]bool, len(mx.Heavy))
+	for _, h := range mx.Heavy {
+		xHeavy[h.Index] = true
+	}
+	for _, h := range my.Heavy {
+		if !xHeavy[h.Index] {
+			yOnlyHeavy += float64(h.Count)
+		}
+	}
+	resX := math.Max(0, float64(sumNNZ(mx))-float64(heavyXTotal))
+	resY := math.Max(0, float64(sumNNZ(my))-float64(heavyYTotal))
+	// Heavy × residual: the other side's residual mass spreads ~uniformly
+	// over the mode's index space.
+	sum += xOnlyHeavy * resY / size
+	sum += yOnlyHeavy * resX / size
+	// Residual × residual.
+	sum += resX * resY / size
+	return sum
+}
+
+// sumNNZ recovers the mode's total non-zero count (Σ cᵢ = nnz) from its
+// stats: MeanCount · Distinct.
+func sumNNZ(m *ModeStats) float64 {
+	return m.MeanCount * float64(m.Distinct)
+}
+
+// contractEstimate predicts one pairwise contraction: x and y contract
+// away the vars in shared (each var held by both operands and by nothing
+// else in the network); the output keeps x's free vars then y's free vars.
+// varSize maps every var to its mode size.
+func contractEstimate(x, y estTensor, shared map[int]bool, varSize map[int]float64) (products, nnzZ float64, z estTensor) {
+	products = x.nnz * y.nnz
+	for v := range shared {
+		products *= matchProb(x, y, v, varSize[v])
+	}
+
+	// Free-key space, per side, capped by nnz.
+	freeSpace := func(t estTensor) float64 {
+		f := 1.0
+		for _, v := range t.vars {
+			if shared[v] {
+				continue
+			}
+			f *= math.Max(1, t.dist[v])
+			if f > t.nnz {
+				// Early cap: correlations between modes keep the true
+				// distinct-tuple count at or below nnz.
+				return math.Max(1, t.nnz)
+			}
+		}
+		return math.Max(1, f)
+	}
+	fx, fy := freeSpace(x), freeSpace(y)
+	space := fx * fy
+
+	switch {
+	case products <= 0:
+		nnzZ = 0
+	case space <= 1:
+		nnzZ = 1 // fully contracted: scalar output
+	default:
+		nnzZ = space * -math.Expm1(-products/space)
+		if nnzZ > products {
+			nnzZ = products
+		}
+		if nnzZ < 1 {
+			nnzZ = 1
+		}
+	}
+
+	z = estTensor{nnz: nnzZ, dist: make(map[int]float64), mode: map[int]*ModeStats{}}
+	appendFree := func(t estTensor) {
+		for _, v := range t.vars {
+			if shared[v] {
+				continue
+			}
+			d := math.Max(1, t.dist[v])
+			// Survival of distinct values under subsampling to nnzZ tuples.
+			dz := d * -math.Expm1(-nnzZ/d)
+			if dz > d {
+				dz = d
+			}
+			if dz < 1 {
+				dz = 1
+			}
+			z.vars = append(z.vars, v)
+			z.dist[v] = dz
+		}
+	}
+	appendFree(x)
+	appendFree(y)
+	return products, nnzZ, z
+}

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"sparta/internal/core"
+	"sparta/internal/stats"
+)
+
+// Model prices one pairwise contraction in nanoseconds from the quantities
+// the estimator predicts. The five coefficients mirror the per-stage walls
+// Report records, so a model can be fitted from measured runs:
+//
+//	cost = SortX·nnzX + Build·nnzY + Probe·nnzX + Accum·products + Write·nnzZ
+//
+// SortX is stage ① minus the HtY build (X permute+sort), Build the COO→HtY
+// conversion, Probe stage ② per driving X non-zero, Accum stage ③ per
+// scalar product, Write stages ④+⑤ per output non-zero (the fused gather
+// emits Z sorted, so the residual sort rides inside Write). Absolute values
+// matter less than ratios: the DP only compares candidate trees under one
+// model.
+type Model struct {
+	SortXNS float64 `json:"sortx_ns"`
+	BuildNS float64 `json:"build_ns"`
+	ProbeNS float64 `json:"probe_ns"`
+	AccumNS float64 `json:"accum_ns"`
+	WriteNS float64 `json:"write_ns"`
+}
+
+// DefaultModel holds laptop-measured per-element constants (flat kernels,
+// 4 threads, scale 20000 — the BENCH_1 regime). They are starting points;
+// FitModel refines them from this machine's Reports.
+func DefaultModel() Model {
+	return Model{SortXNS: 35, BuildNS: 80, ProbeNS: 45, AccumNS: 25, WriteNS: 60}
+}
+
+// StepCost prices one contraction.
+func (m Model) StepCost(nnzX, nnzY, products, nnzZ float64) float64 {
+	return m.SortXNS*nnzX + m.BuildNS*nnzY + m.ProbeNS*nnzX + m.AccumNS*products + m.WriteNS*nnzZ
+}
+
+// FitModel estimates the coefficients from measured contraction reports:
+// each term's unit cost is the median over reports of the corresponding
+// stage wall divided by its driving quantity (median, not mean — single
+// cold-cache outliers would otherwise dominate). Terms with no usable
+// sample keep the default. Reports from any algorithm are accepted, but
+// the HtY-specific terms only learn from AlgSparta runs.
+func FitModel(reports []*core.Report) Model {
+	m := DefaultModel()
+	var sortx, build, probe, accum, write []float64
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if r.NNZX > 0 {
+			in := r.StageWall[core.StageInput] - r.HtYBuild
+			if in > 0 {
+				sortx = append(sortx, float64(in)/float64(r.NNZX))
+			}
+			if w := r.StageWall[core.StageSearch]; w > 0 {
+				probe = append(probe, float64(w)/float64(r.NNZX))
+			}
+		}
+		if r.Algorithm == core.AlgSparta && !r.HtYReused && r.NNZY > 0 && r.HtYBuild > 0 {
+			build = append(build, float64(r.HtYBuild)/float64(r.NNZY))
+		}
+		if r.Products > 0 {
+			if w := r.StageWall[core.StageAccum]; w > 0 {
+				accum = append(accum, float64(w)/float64(r.Products))
+			}
+		}
+		if r.NNZZ > 0 {
+			w := r.StageWall[core.StageWrite] + r.StageWall[core.StageSort]
+			if w > 0 {
+				write = append(write, float64(w)/float64(r.NNZZ))
+			}
+		}
+	}
+	if v := stats.Median(sortx); v > 0 {
+		m.SortXNS = v
+	}
+	if v := stats.Median(build); v > 0 {
+		m.BuildNS = v
+	}
+	if v := stats.Median(probe); v > 0 {
+		m.ProbeNS = v
+	}
+	if v := stats.Median(accum); v > 0 {
+		m.AccumNS = v
+	}
+	if v := stats.Median(write); v > 0 {
+		m.WriteNS = v
+	}
+	return m
+}

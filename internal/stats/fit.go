@@ -1,0 +1,18 @@
+package stats
+
+import "sort"
+
+// Median returns the middle value of vals (mean of the central pair for
+// even counts, 0 for none). The input is not modified.
+func Median(vals []float64) float64 {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

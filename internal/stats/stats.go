@@ -9,6 +9,7 @@ import (
 	"math"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -46,11 +47,13 @@ func (t *Table) Render(w io.Writer) {
 			cols = len(r)
 		}
 	}
+	// Widths count runes, not bytes: cell text routinely carries multi-byte
+	// characters (µs durations, the planner's × order expressions).
 	width := make([]int, cols)
 	measure := func(r []string) {
 		for i, c := range r {
-			if len(c) > width[i] {
-				width[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > width[i] {
+				width[i] = n
 			}
 		}
 	}
@@ -69,7 +72,7 @@ func (t *Table) Render(w io.Writer) {
 				b.WriteString("  ")
 			}
 			b.WriteString(c)
-			b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+			b.WriteString(strings.Repeat(" ", width[i]-utf8.RuneCountInString(c)))
 		}
 		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
 	}

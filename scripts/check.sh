@@ -10,5 +10,5 @@ go build ./...
 go vet ./...
 go run ./cmd/sptc-lint ./...
 go test -race -short ./...
-go test -race ./internal/hashtab ./internal/core
-go test -race -tags assert ./internal/hashtab ./internal/core
+go test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
+go test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
