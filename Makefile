@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint verify bench bench-json clean
+.PHONY: build test lint perf-baseline verify bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -9,26 +9,41 @@ test:
 	$(GO) test ./...
 
 # lint runs the in-tree analyzer suite (cmd/sptc-lint): atomicmix,
-# chunkloop, lnoverflow, hotpanic, bareerr. Zero dependencies, exits
-# non-zero on any unsuppressed finding.
+# chunkloop, lnoverflow, hotpanic, bareerr, spanleak, ctxloop, mutexcopy,
+# deferinloop, atomicalign. Zero dependencies, exits non-zero on any
+# unsuppressed finding. The -perf pass then diffs the compiler's heap-escape
+# and bounds-check diagnostics over the hot-path packages against the
+# committed budget (lint/hotpath_budget.json): any new escape or bounds
+# check in a budgeted function fails here, not in a flamegraph.
 lint:
 	$(GO) run ./cmd/sptc-lint ./...
+	$(GO) run ./cmd/sptc-lint -perf
+
+# perf-baseline deliberately re-stamps lint/hotpath_budget.json from the
+# current compiler diagnostics (after an accepted hot-path change). The
+# marquee loops in perfClean (cmd/sptc-lint/perf.go) must still be at zero
+# escapes and zero bounds checks or the stamp is refused.
+perf-baseline:
+	$(GO) run ./cmd/sptc-lint -perf-baseline
 
 # verify is the pre-merge gate: full build, vet, the sptc-lint analyzers,
-# and the race detector over every package (the lock-free HtY build and
-# open-addressed tables live or die by this). The bench experiments run
-# -short under race — at full tilt they exceed the test timeout on small
-# machines — while the hot packages (hashtab, core, engine), which have no
-# expensive short-mode skips, always race-run in full, once plain and once
-# with the -tags assert invariant checks compiled in (probe bounds, load
-# factor, arena-sweep monotonicity; see internal/invariant).
+# the hot-path performance budget, and the race detector over every package
+# (the lock-free HtY build and open-addressed tables live or die by this).
+# The bench experiments run -short under race — at full tilt they exceed
+# the test timeout on small machines — while the hot packages (hashtab,
+# core, engine, plan, sortx, obs), which have no expensive short-mode
+# skips, always race-run in full, once plain and once with the -tags assert
+# invariant checks compiled in (probe bounds, load factor, arena-sweep
+# monotonicity, DP split partitions, estimator non-negativity, LRU recency
+# generations; see internal/invariant).
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/sptc-lint ./...
+	$(GO) run ./cmd/sptc-lint -perf
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
-	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
+	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs
+	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs
 
 # bench prints the chained-vs-flat hash-kernel duel without writing JSON.
 bench:

@@ -35,6 +35,10 @@ var analyzers = []*Analyzer{
 	hotpanicAnalyzer,
 	bareerrAnalyzer,
 	spanleakAnalyzer,
+	ctxloopAnalyzer,
+	mutexcopyAnalyzer,
+	deferinloopAnalyzer,
+	atomicalignAnalyzer,
 }
 
 // ignoreDirective is the suppression marker: a comment of the form

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// atomicalign guards the 64-bit atomic alignment contract: on 32-bit
+// platforms (and the wasm port) sync/atomic's 64-bit operations fault
+// unless the word is 8-byte aligned, and the only placement Go guarantees
+// is "the first word in an allocated struct". A counter that works on
+// amd64 therefore crashes on 386/arm the moment a field is inserted above
+// it. The check finds &x.f arguments to the 64-bit sync/atomic functions
+// and recomputes the field offset under a 32-bit sizes model: any offset
+// that is not a multiple of 8 is a latent fault. (The atomic.Int64/Uint64
+// wrapper types carry their own alignment and are always safe.)
+var atomicalignAnalyzer = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operand is a struct field not 8-byte aligned on 32-bit platforms",
+	Run:  runAtomicalign,
+}
+
+// atomic64Funcs are the sync/atomic functions whose pointer operand must be
+// 8-byte aligned.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 is the strictest supported layout: 4-byte words, maximum
+// alignment 4 (the gc layout for 386/arm).
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicalign(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		inspect(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !atomic64Funcs[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "sync/atomic" {
+				return true
+			}
+			// First operand: &expr. Only struct-field operands have a
+			// layout the type system can predict; locals and slice
+			// elements are the allocator's problem.
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, ok := p.Info.Selections[fsel]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			off, path := fieldOffset32(selInfo)
+			if off < 0 || off%8 == 0 {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(call.Args[0].Pos()),
+				Analyzer: "atomicalign",
+				Message: fmt.Sprintf(
+					"atomic.%s on field %s at 32-bit offset %d (not 8-byte aligned); move the field first in its struct or use atomic.%s",
+					sel.Sel.Name, path, off, wrapperFor(sel.Sel.Name)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// fieldOffset32 resolves the selected field's byte offset from the start of
+// its outermost struct under the 32-bit sizes model, following the
+// selection's embedded-field path. Returns -1 when the receiver is not a
+// struct chain the model can lay out.
+func fieldOffset32(sel *types.Selection) (int64, string) {
+	t := sel.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var off int64
+	var path []string
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return -1, ""
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		off += offsets[idx]
+		path = append(path, st.Field(idx).Name())
+		t = st.Field(idx).Type()
+	}
+	return off, strings.Join(path, ".")
+}
+
+// wrapperFor names the self-aligning sync/atomic wrapper type to suggest.
+func wrapperFor(fn string) string {
+	if strings.HasSuffix(fn, "Uint64") {
+		return "Uint64"
+	}
+	return "Int64"
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxloop keeps cancellation threaded through the dynamic-scheduling loops:
+// the serving path (sptc-serve, engine.Contract) relies on context to shed
+// load, and a dropped ctx anywhere between an exported entry point and
+// parallel.ForChunked* silently turns a cancellable contraction into an
+// unkillable one. Any exported function that lexically runs a ForChunked
+// family loop must accept a context.Context, and once it has one it must
+// call the Ctx variant so the checkpoint between chunk claims actually
+// observes cancellation.
+var ctxloopAnalyzer = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "exported function runs parallel.ForChunked* without threading a context.Context",
+	Run:  runCtxloop,
+}
+
+func runCtxloop(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Path, "/parallel") {
+			continue // the loop implementations themselves
+		}
+		for _, fd := range funcDecls(p) {
+			if fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			hasCtx := funcHasCtxParam(p, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				name, ok := forChunkedCall(p, n)
+				if !ok {
+					return true
+				}
+				switch {
+				case !hasCtx:
+					diags = append(diags, Diagnostic{
+						Pos:      p.Fset.Position(n.Pos()),
+						Analyzer: "ctxloop",
+						Message: fmt.Sprintf(
+							"exported %s runs parallel.%s without a context.Context parameter; accept a ctx and use the Ctx variant so cancellation reaches the loop",
+							fd.Name.Name, name),
+					})
+				case !strings.HasSuffix(name, "Ctx"):
+					diags = append(diags, Diagnostic{
+						Pos:      p.Fset.Position(n.Pos()),
+						Analyzer: "ctxloop",
+						Message: fmt.Sprintf(
+							"exported %s has a context.Context but calls parallel.%s; use parallel.%sCtx so the chunk-claim checkpoint observes cancellation",
+							fd.Name.Name, name, name),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// forChunkedCall reports whether n is a call to parallel.ForChunked* and
+// returns the function name.
+func forChunkedCall(p *Package, n ast.Node) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "ForChunked") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Name() != "parallel" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// funcHasCtxParam reports whether any parameter of fd is a context.Context.
+func funcHasCtxParam(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range fd.Type.Params.List {
+		tv, ok := p.Info.Types[f.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -135,6 +135,22 @@ func TestSpanleakFixture(t *testing.T) {
 	runFixture(t, "fix/spanleak", spanleakAnalyzer)
 }
 
+func TestCtxloopFixture(t *testing.T) {
+	runFixture(t, "fix/ctxloop", ctxloopAnalyzer)
+}
+
+func TestMutexcopyFixture(t *testing.T) {
+	runFixture(t, "fix/mutexcopy", mutexcopyAnalyzer)
+}
+
+func TestDeferinloopFixture(t *testing.T) {
+	runFixture(t, "fix/internal/sortx", deferinloopAnalyzer)
+}
+
+func TestAtomicalignFixture(t *testing.T) {
+	runFixture(t, "fix/atomicalign", atomicalignAnalyzer)
+}
+
 // TestSuppressionMachinery covers the directive plumbing itself: malformed
 // and unknown-analyzer directives are reported and do not suppress, while a
 // well-formed one silences its line.

@@ -1,11 +1,14 @@
-// Command sptc-lint is Sparta's in-tree static-analysis gate: six
-// repo-specific analyzers over the whole module, built on nothing but
-// go/parser + go/types so it runs offline with a bare toolchain (no
-// golang.org/x/tools, no network, no module downloads).
+// Command sptc-lint is Sparta's in-tree static-analysis gate: ten
+// repo-specific analyzers over the whole module plus a compiler-diagnostic
+// performance tier, built on nothing but go/parser + go/types so it runs
+// offline with a bare toolchain (no golang.org/x/tools, no network, no
+// module downloads).
 //
 //	go run ./cmd/sptc-lint ./...        # the whole module (what make verify runs)
 //	go run ./cmd/sptc-lint ./internal/hashtab ./internal/core
 //	go run ./cmd/sptc-lint -list        # describe the analyzers
+//	go run ./cmd/sptc-lint -perf            # diff hot-path escapes/bounds checks vs lint/hotpath_budget.json
+//	go run ./cmd/sptc-lint -perf-baseline   # re-stamp the budget (make perf-baseline)
 //
 // Analyzers:
 //
@@ -15,6 +18,17 @@
 //	hotpanic    panic reachable from the contraction hot path
 //	bareerr     dropped error results
 //	spanleak    Tracer.Start* spans that are never End()ed
+//	ctxloop     exported ForChunked* callers that drop context.Context
+//	mutexcopy   sync.Mutex/WaitGroup/atomic values copied by value
+//	deferinloop defer inside a loop in a hot-path package
+//	atomicalign 64-bit atomics on struct fields misaligned for 32-bit
+//
+// The -perf tier runs the compiler itself (go build -gcflags '-m -m' and
+// -d=ssa/check_bce/debug=1) over the hot-path packages, attributes every
+// heap escape and bounds check to its enclosing function, and diffs the
+// counts against the committed budget in lint/hotpath_budget.json. Any
+// count above budget fails; make perf-baseline re-stamps the file after a
+// deliberate change.
 //
 // A finding is suppressed by a comment on its line or the line above:
 //
@@ -29,6 +43,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +51,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	perf := flag.Bool("perf", false, "diff compiler escape/bounds-check diagnostics against lint/hotpath_budget.json")
+	perfBaseline := flag.Bool("perf-baseline", false, "re-stamp lint/hotpath_budget.json from the current diagnostics")
 	flag.Parse()
 
 	if *list {
@@ -44,9 +61,19 @@ func main() {
 		}
 		return
 	}
+	if *perf || *perfBaseline {
+		if err := perfMain(*perfBaseline); err != nil {
+			if errors.Is(err, errBudgetExceeded) {
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "sptc-lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sptc-lint [-list] <packages>   (e.g. sptc-lint ./...)")
+		fmt.Fprintln(os.Stderr, "usage: sptc-lint [-list] [-perf] [-perf-baseline] <packages>   (e.g. sptc-lint ./...)")
 		os.Exit(2)
 	}
 

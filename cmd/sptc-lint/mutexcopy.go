@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// mutexcopy catches by-value copies of synchronization state: a copied
+// sync.Mutex forks the lock (both copies unlock independently — the race
+// detector only sees it once the two halves actually interleave), a copied
+// WaitGroup forks the counter, and a copied atomic loses the writes made
+// through the original. The copies arrive innocently — a range value
+// variable over a slice of stat structs, a struct assignment that happens
+// to embed a Mutex — so the check follows the type structure recursively
+// through struct fields and array elements, like vet's copylocks but scoped
+// to the forms this codebase actually writes.
+var mutexcopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "sync.Mutex/WaitGroup/atomic value copied by value (assignment, range, call argument, or value receiver)",
+	Run:  runMutexcopy,
+}
+
+func runMutexcopy(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(p *Package, n ast.Node, what string, t types.Type) {
+		diags = append(diags, Diagnostic{
+			Pos:      p.Fset.Position(n.Pos()),
+			Analyzer: "mutexcopy",
+			Message:  fmt.Sprintf("%s copies %s; pass a pointer or index in place", what, lockPath(t)),
+		})
+	}
+	for _, p := range pkgs {
+		inspect(p, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break // multi-value call: covered by the call's own signature
+					}
+					if t := copiedLockExpr(p, rhs); t != nil {
+						report(p, n.Rhs[i], "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				// The value (and key, for maps of structs) variables are
+				// fresh copies each iteration.
+				for _, v := range []ast.Expr{n.Key, n.Value} {
+					if v == nil {
+						continue
+					}
+					if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+						if obj := p.Info.Defs[id]; obj != nil {
+							if t := containsLock(obj.Type()); t != nil {
+								report(p, v, "range variable", t)
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if t := copiedLockExpr(p, arg); t != nil {
+						report(p, arg, "call argument", t)
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, f := range n.Recv.List {
+						tv, ok := p.Info.Types[f.Type]
+						if !ok || tv.Type == nil {
+							continue
+						}
+						if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+							continue
+						}
+						if t := containsLock(tv.Type); t != nil {
+							report(p, f.Type, fmt.Sprintf("value receiver of %s", n.Name.Name), t)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == len(n.Names) {
+					for _, v := range n.Values {
+						if t := copiedLockExpr(p, v); t != nil {
+							report(p, v, "variable initialization", t)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if t := copiedLockExpr(p, r); t != nil {
+						report(p, r, "return statement", t)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// copiedLockExpr reports the lock type copied when e is evaluated as a
+// value, or nil. Only expressions that read an existing value count:
+// composite literals and calls construct fresh state, so copying them is
+// initialization, not a fork.
+func copiedLockExpr(p *Package, e ast.Expr) types.Type {
+	switch u := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = u
+	default:
+		return nil
+	}
+	tv, ok := p.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return containsLock(tv.Type)
+}
+
+// lockTypes are the sync and sync/atomic types whose by-value copy is a bug.
+var lockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+	"sync/atomic.Value": true, "sync/atomic.Bool": true, "sync/atomic.Int32": true,
+	"sync/atomic.Int64": true, "sync/atomic.Uint32": true, "sync/atomic.Uint64": true,
+	"sync/atomic.Uintptr": true, "sync/atomic.Pointer": true,
+}
+
+// containsLock walks t through struct fields and array elements and returns
+// the first embedded lock type found (nil if none). Pointers, slices, and
+// maps stop the walk: sharing a pointer to a lock is the fix, not the bug.
+func containsLock(t types.Type) types.Type {
+	return lockIn(t, map[types.Type]bool{})
+}
+
+func lockIn(t types.Type, seen map[types.Type]bool) types.Type {
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			key := obj.Pkg().Path() + "." + obj.Name()
+			if lockTypes[key] {
+				return t
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hit := lockIn(u.Field(i).Type(), seen); hit != nil {
+				return hit
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return nil
+}
+
+// lockPath renders the found lock type with enough context to act on.
+func lockPath(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return "a " + obj.Pkg().Name() + "." + obj.Name()
+		}
+	}
+	return "a lock-bearing value"
+}

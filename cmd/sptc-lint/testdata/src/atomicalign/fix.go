@@ -1,0 +1,43 @@
+// Package atomicalign is the atomicalign analyzer fixture: 64-bit atomics
+// on struct fields whose offsets differ under the 32-bit layout.
+package atomicalign
+
+import "sync/atomic"
+
+type good struct {
+	hits  uint64 // first word of the struct: 8-byte aligned on every port
+	flags uint32
+}
+
+type bad struct {
+	flags uint32
+	hits  uint64 // offset 4 under the 32-bit sizes model
+}
+
+type meters struct {
+	hits uint64
+}
+
+type server struct {
+	state uint32
+	meters
+}
+
+func bump(g *good, b *bad) {
+	atomic.AddUint64(&g.hits, 1) // clean: offset 0
+	atomic.AddUint64(&b.hits, 1) // want 19 "not 8-byte aligned"
+}
+
+func hit(s *server) {
+	atomic.AddUint64(&s.hits, 1) // want 19 "not 8-byte aligned"
+}
+
+func local() uint64 {
+	var n uint64
+	return atomic.LoadUint64(&n) // clean: locals are the allocator's problem
+}
+
+func legacy(b *bad) {
+	//lint:ignore atomicalign the 32-bit port never builds this package
+	atomic.AddUint64(&b.hits, 1)
+}

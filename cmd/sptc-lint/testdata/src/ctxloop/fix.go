@@ -1,0 +1,37 @@
+// Package ctxloop is the ctxloop analyzer fixture: exported functions that
+// run parallel.ForChunked* loops with and without a threaded context.
+package ctxloop
+
+import (
+	"context"
+
+	"fix/internal/parallel"
+)
+
+// Exported and chunk-parallel but no context parameter: flagged.
+func Scatter(n, threads int) {
+	parallel.ForChunked(threads, n, 0, func(_, lo, hi int) {}) // want 2 "without a context.Context parameter"
+}
+
+// Has a context but calls the non-Ctx variant, so cancellation never
+// reaches the chunk-claim checkpoint: flagged.
+func Gather(ctx context.Context, n, threads int) {
+	parallel.ForChunkedWork(threads, n, 0, int64(n), func(_, lo, hi int) {}) // want 2 "use parallel.ForChunkedWorkCtx"
+}
+
+// Clean: ctx threaded into the Ctx variant.
+func Sweep(ctx context.Context, n, threads int) error {
+	return parallel.ForChunkedCtx(ctx, threads, n, 0, func(_, lo, hi int) {})
+}
+
+// Clean: unexported helpers are reached through an exported cancellable
+// entry point; the gate is on the exported surface.
+func scatterSerial(n, threads int) {
+	parallel.ForChunked(threads, n, 0, func(_, lo, hi int) {})
+}
+
+// Clean: properly suppressed with a reason.
+func Drain(n, threads int) {
+	//lint:ignore ctxloop drain runs during process shutdown; nothing can cancel it
+	parallel.ForChunked(threads, n, 0, func(_, lo, hi int) {})
+}

@@ -1,0 +1,25 @@
+// Package parallel is the loop-stub the ctxloop fixture imports: the same
+// ForChunked-family signatures as sparta/internal/parallel, with trivial
+// serial bodies (the analyzer keys on the imported package name and the
+// function-name prefix, not on this package's behavior).
+package parallel
+
+import "context"
+
+func ForChunked(threads, n, chunk int, body func(tid, lo, hi int)) {
+	body(0, 0, n)
+}
+
+func ForChunkedCtx(ctx context.Context, threads, n, chunk int, body func(tid, lo, hi int)) error {
+	body(0, 0, n)
+	return ctx.Err()
+}
+
+func ForChunkedWork(threads, n, chunk int, work int64, body func(tid, lo, hi int)) {
+	body(0, 0, n)
+}
+
+func ForChunkedWorkCtx(ctx context.Context, threads, n, chunk int, work int64, body func(tid, lo, hi int)) error {
+	body(0, 0, n)
+	return ctx.Err()
+}

@@ -1,0 +1,57 @@
+// Package sortx is the deferinloop analyzer fixture: its import path ends
+// in a hot-path package suffix, so defers inside loop bodies are flagged.
+package sortx
+
+import "sync"
+
+var mu sync.Mutex
+
+func drain(items []int) int {
+	total := 0
+	for _, it := range items {
+		mu.Lock()
+		defer mu.Unlock() // want 3 "defer inside a loop"
+		total += it
+	}
+	return total
+}
+
+func nested(rows [][]int) int {
+	total := 0
+	for i := 0; i < len(rows); i++ {
+		for _, v := range rows[i] {
+			defer mu.Unlock() // want 4 "defer inside a loop"
+			total += v
+		}
+	}
+	return total
+}
+
+func perCall(items []int) int {
+	total := 0
+	for _, it := range items {
+		func() {
+			mu.Lock()
+			defer mu.Unlock() // clean: scoped to the literal, runs once per call
+			total += it
+		}()
+	}
+	return total
+}
+
+func once(items []int) int {
+	mu.Lock()
+	defer mu.Unlock() // clean: not inside a loop
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return total
+}
+
+func retry(attempts int) {
+	for i := 0; i < attempts; i++ {
+		//lint:ignore deferinloop bounded by the retry cap, not by nnz
+		defer mu.Unlock()
+	}
+}

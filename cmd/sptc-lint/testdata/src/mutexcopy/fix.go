@@ -1,0 +1,56 @@
+// Package mutexcopy is the mutexcopy analyzer fixture: lock-bearing values
+// copied through assignment, range, call arguments, value receivers,
+// variable initialization, and returns.
+package mutexcopy
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+var global counter
+
+var snapshot = global // want 16 "variable initialization copies a sync.Mutex"
+
+func assign() {
+	c := global // want 7 "assignment copies a sync.Mutex"
+	c.n++
+}
+
+func iterate(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want 9 "range variable copies a sync.Mutex"
+		total += c.n
+	}
+	return total
+}
+
+func observe(c counter) {}
+
+func callArg() {
+	observe(global) // want 10 "call argument copies a sync.Mutex"
+}
+
+func (c counter) get() int { // want 9 "value receiver of get copies a sync.Mutex"
+	return c.n
+}
+
+func escape() counter {
+	return global // want 9 "return statement copies a sync.Mutex"
+}
+
+func fresh() counter {
+	return counter{} // clean: a composite literal constructs fresh state
+}
+
+func pointer(cs []counter) *counter {
+	return &cs[0] // clean: sharing a pointer is the fix, not the bug
+}
+
+func suppressed() {
+	//lint:ignore mutexcopy snapshot of a quiesced counter for a debug dump
+	c := global
+	c.n++
+}

@@ -33,9 +33,20 @@ func describeCmd(args []string) error {
 	st := plan.StatsOf(t)
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(st)
+		// Marshal fully before touching stdout: a streaming encoder that
+		// fails mid-struct leaves a truncated JSON prefix on stdout, which a
+		// consumer piping into a parser reads as corrupt rather than failed.
+		// Buffering keeps stdout all-or-nothing; the error travels to stderr
+		// through main's usual exit path.
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return fmt.Errorf("describe: encoding %s: %w", fs.Arg(0), err)
+		}
+		data = append(data, '\n')
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+		return nil
 	}
 
 	fmt.Printf("%v\n", t)

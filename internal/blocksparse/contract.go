@@ -1,6 +1,7 @@
 package blocksparse
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,6 +16,13 @@ import (
 // addressed by the free sectors. Output modes are X's free modes followed
 // by Y's free modes, matching core.Contract's convention.
 func Contract(x, y *Tensor, cmodesX, cmodesY []int, threads int) (*Tensor, error) {
+	return ContractCtx(context.Background(), x, y, cmodesX, cmodesY, threads)
+}
+
+// ContractCtx is Contract with cooperative cancellation: the block-pair GEMM
+// loop checkpoints ctx between chunk claims and returns ctx.Err() (discarding
+// the partial output) once the context is done.
+func ContractCtx(ctx context.Context, x, y *Tensor, cmodesX, cmodesY []int, threads int) (*Tensor, error) {
 	if len(cmodesX) != len(cmodesY) {
 		return nil, fmt.Errorf("blocksparse: contract mode count mismatch")
 	}
@@ -115,7 +123,7 @@ func Contract(x, y *Tensor, cmodesX, cmodesY []int, threads int) (*Tensor, error
 		return blk
 	}
 
-	parallel.ForChunked(threads, len(gkeys), 1, func(_, lo, hi int) {
+	cerr := parallel.ForChunkedCtx(ctx, threads, len(gkeys), 1, func(_, lo, hi int) {
 		zsec := make([]uint32, z.Order())
 		for g := lo; g < hi; g++ {
 			for _, a := range groups[gkeys[g]] {
@@ -140,6 +148,9 @@ func Contract(x, y *Tensor, cmodesX, cmodesY []int, threads int) (*Tensor, error
 			}
 		}
 	})
+	if cerr != nil {
+		return nil, cerr
+	}
 	return z, nil
 }
 

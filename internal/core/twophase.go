@@ -52,7 +52,10 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 	rep.MaxSubNNZX = coo.MaxSubNNZ(ptrFX)
 	rep.BytesX = xw.Bytes()
 
-	hty := buildYTable(p, opt, threads, rep)
+	hty, err := buildYTable(ctx, p, opt, threads, rep)
+	if err != nil {
+		return nil, err
+	}
 	rep.StageWall[StageInput] = time.Since(t0)
 	rep.StageCPU[StageInput] = rep.StageWall[StageInput]
 	spInput.End()

@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"sparta/internal/core"
+	"sparta/internal/invariant"
 )
 
 // planKey identifies one cached prepared plan: the content fingerprint of Y
@@ -18,11 +19,14 @@ type planKey struct {
 	twoPass bool
 }
 
-// lruEntry is one resident plan with its accounted size.
+// lruEntry is one resident plan with its accounted size and last-touch
+// generation (the recency witness the -tags assert build cross-checks
+// against the list order).
 type lruEntry struct {
 	key   planKey
 	prep  *core.PreparedY
 	bytes uint64
+	gen   uint64
 }
 
 // lruCache is a doubly-linked-list LRU over prepared plans with an entry
@@ -34,6 +38,7 @@ type lruCache struct {
 	maxBytes   uint64 // 0 = no byte budget
 
 	bytes uint64
+	gen   uint64     // monotone touch counter; every hit or insert increments it
 	ll    *list.List // front = most recently used
 	items map[planKey]*list.Element
 }
@@ -54,7 +59,43 @@ func (c *lruCache) get(k planKey) (*core.PreparedY, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
+	c.touch(el.Value.(*lruEntry))
+	if invariant.Enabled {
+		c.checkRecency()
+	}
 	return el.Value.(*lruEntry).prep, true
+}
+
+// touch stamps e with the next generation. Generations only grow, so the
+// recency list can be cross-checked against them under -tags assert: list
+// order and generation order must never disagree.
+func (c *lruCache) touch(e *lruEntry) {
+	c.gen++
+	e.gen = c.gen
+}
+
+// checkRecency asserts the cache's structural invariants: generations
+// strictly decrease front to back (the list is exactly recency order), the
+// map points at the list elements it indexes, and the byte gauge sums the
+// resident entries.
+func (c *lruCache) checkRecency() {
+	last := ^uint64(0)
+	var bytes uint64
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		invariant.Assertf(e.gen < last,
+			"engine: LRU generations not monotone: gen %d follows gen %d", e.gen, last)
+		invariant.Assertf(c.items[e.key] == el,
+			"engine: LRU map does not point at the list element holding its key")
+		last = e.gen
+		bytes += e.bytes
+		n++
+	}
+	invariant.Assertf(n == len(c.items),
+		"engine: LRU list holds %d entries, map holds %d", n, len(c.items))
+	invariant.Assertf(bytes == c.bytes,
+		"engine: LRU byte gauge says %d, resident entries sum to %d", c.bytes, bytes)
 }
 
 // add inserts a plan (keeping an existing entry for the same key — the
@@ -64,9 +105,14 @@ func (c *lruCache) get(k planKey) (*core.PreparedY, bool) {
 func (c *lruCache) add(k planKey, prep *core.PreparedY) (*core.PreparedY, int) {
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
+		c.touch(el.Value.(*lruEntry))
+		if invariant.Enabled {
+			c.checkRecency()
+		}
 		return el.Value.(*lruEntry).prep, 0
 	}
 	e := &lruEntry{key: k, prep: prep, bytes: prep.Bytes()}
+	c.touch(e)
 	c.items[k] = c.ll.PushFront(e)
 	c.bytes += e.bytes
 	evicted := 0
@@ -77,6 +123,9 @@ func (c *lruCache) add(k planKey, prep *core.PreparedY) (*core.PreparedY, int) {
 		}
 		c.remove(back)
 		evicted++
+	}
+	if invariant.Enabled {
+		c.checkRecency()
 	}
 	return prep, evicted
 }

@@ -1,6 +1,8 @@
 package hashtab
 
 import (
+	"context"
+
 	"sparta/internal/coo"
 	"sparta/internal/invariant"
 	"sparta/internal/lnum"
@@ -17,7 +19,25 @@ import (
 // variant trades the locks for an extra pass over Y. The ablation bench
 // (BenchmarkAblation_YBuild2P) compares the two; on lock-contended bucket
 // distributions (few distinct keys) the two-pass build wins.
+//
+// BuildHtY2P never blocks on anything but its own workers, so it keeps the
+// context-free signature shared with BuildHtY (the two are assigned to the
+// same function variable by kernel selection); cancellable callers use
+// BuildHtY2PCtx.
 func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) *HtY {
+	h, err := BuildHtY2PCtx(context.Background(), y, cmodes, fmodes, radC, radF, buckets, threads)
+	if err != nil {
+		// Unreachable: cancellation is the only error BuildHtY2PCtx
+		// returns, and a Background context is never canceled.
+		return nil
+	}
+	return h
+}
+
+// BuildHtY2PCtx is BuildHtY2P with cooperative cancellation: the bucket
+// assembly checkpoints ctx between chunk claims, and the build returns
+// ctx.Err() (discarding the partial table) once the context is done.
+func BuildHtY2PCtx(ctx context.Context, y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buckets, threads int) (*HtY, error) {
 	n := y.NNZ()
 	if buckets <= 0 {
 		buckets = NextPow2(n)
@@ -66,6 +86,10 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 	invariant.Assertf(int(counts[buckets]) == n,
 		"BuildHtY2P: bucket counts prefix-sum to %d, want nnz_Y = %d", counts[buckets], n)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	// Pass 2: scatter positions into a bucket-partitioned order. Each
 	// thread re-walks its range using its own copy of the running
 	// offsets, derived from the global prefix plus the partial counts of
@@ -98,7 +122,7 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 
 	// Assemble buckets in parallel: each bucket's items are contiguous in
 	// pos; group equal keys into entries preserving first-seen order.
-	parallel.ForChunked(threads, buckets, 0, func(_, blo, bhi int) {
+	cerr := parallel.ForChunkedCtx(ctx, threads, buckets, 0, func(_, blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := counts[b], counts[b+1]
 			if lo == hi {
@@ -123,6 +147,9 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 			}
 		}
 	})
+	if cerr != nil {
+		return nil, cerr
+	}
 	for bi := range h.buckets {
 		for e := range h.buckets[bi].entries {
 			h.NKeys++
@@ -131,5 +158,5 @@ func BuildHtY2P(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, buc
 			}
 		}
 	}
-	return h
+	return h, nil
 }

@@ -206,25 +206,50 @@ func BuildHtYFlat(y *coo.Tensor, cmodes, fmodes []int, radC, radF *lnum.Radix, b
 // then a contiguous arena sub-slice. The probe count is derived from the
 // displacement after the loop, keeping the loop body to one load and two
 // compares.
+//
+// The body is written for bounds-check elimination (the -perf lint gate
+// holds this function at zero escapes and zero bounds checks): the slot
+// index is masked against len(table)-1 so the prover sees every table
+// access in range, and the arena sub-slice is dominated by explicit range
+// guards on conditions the build makes impossible, replacing the compiler's
+// implicit checks on the hot path.
 func (h *HtYFlat) Lookup(key uint64) ([]YItem, int) {
-	s0 := hashKey(key) & h.mask
+	table := h.table
+	if len(table) == 0 {
+		return nil, 0
+	}
+	mask := uint64(len(table) - 1)
+	s0 := hashKey(key) & mask
 	s := s0
 	for {
-		k := atomic.LoadUint64(&h.table[s].key)
+		k := atomic.LoadUint64(&table[s&mask].key)
 		if k == key {
-			r := h.table[s].rank
-			return h.items[h.itemOff[r]:h.itemOff[r+1]], int((s-s0)&h.mask) + 1
+			r := int(table[s&mask].rank)
+			probes := int((s-s0)&mask) + 1
+			itemOff, items := h.itemOff, h.items
+			if r < 0 || r >= len(itemOff) {
+				return nil, probes // impossible: ranks index itemOff[0:NKeys+1]
+			}
+			off := itemOff[r:]
+			if len(off) < 2 {
+				return nil, probes // impossible: itemOff always has rank+1 entries
+			}
+			lo, hi := int(off[0]), int(off[1])
+			if lo < 0 || hi < lo || hi > len(items) {
+				return nil, probes // impossible: arena offsets prefix-sum the item counts
+			}
+			return items[lo:hi], probes
 		}
 		if k == emptySlot {
-			return nil, int((s-s0)&h.mask) + 1
+			return nil, int((s-s0)&mask) + 1
 		}
 		if invariant.Enabled {
 			// A full probe cycle means no free slot — the load-factor
 			// clamp in BuildHtYFlat was violated.
-			invariant.Assertf((s+1)&h.mask != s0,
-				"HtYFlat.Lookup: probe sequence wrapped the whole table (%d slots) without a free slot", len(h.table))
+			invariant.Assertf((s+1)&mask != s0,
+				"HtYFlat.Lookup: probe sequence wrapped the whole table (%d slots) without a free slot", len(table))
 		}
-		s = (s + 1) & h.mask
+		s = (s + 1) & mask
 	}
 }
 

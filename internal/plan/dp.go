@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"sparta/internal/coo"
+	"sparta/internal/invariant"
 )
 
 // DefaultExhaustiveLimit is the leaf count up to which the subset DP
@@ -147,6 +148,13 @@ func exhaustive(net *network, m Model) *tree {
 		for s1 := (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s {
 			if s1&low == 0 {
 				continue
+			}
+			if invariant.Enabled {
+				// Canonical split: both halves non-empty, disjoint, exactly
+				// covering s, with s's lowest bit in the enumerated half.
+				s2 := s ^ s1
+				invariant.Assertf(s1 != 0 && s2 != 0 && s1&s2 == 0 && s1|s2 == s && s1&low != 0,
+					"plan: DP split %#x + %#x is not a canonical partition of %#x", s1, s2, s)
 			}
 			t1, t2 := best[s1], best[s^s1]
 			if t1 == nil || t2 == nil {

@@ -1,6 +1,10 @@
 package plan
 
-import "math"
+import (
+	"math"
+
+	"sparta/internal/invariant"
+)
 
 // This file is the sparsity estimator: given two tensors' per-mode
 // statistics, predict the products performed and the output nnz of their
@@ -183,5 +187,17 @@ func contractEstimate(x, y estTensor, shared map[int]bool, varSize map[int]float
 	}
 	appendFree(x)
 	appendFree(y)
+	if invariant.Enabled {
+		// The estimator feeds the DP's cost comparisons: a negative or NaN
+		// estimate would silently corrupt every tree price above it.
+		invariant.Assertf(products >= 0 && !math.IsNaN(products),
+			"plan: estimator produced negative/NaN products %v", products)
+		invariant.Assertf(nnzZ >= 0 && !math.IsNaN(nnzZ),
+			"plan: estimator produced negative/NaN output nnz %v", nnzZ)
+		for v, d := range z.dist {
+			invariant.Assertf(d >= 1 && !math.IsNaN(d),
+				"plan: estimator produced distinct count %v < 1 for var %d", d, v)
+		}
+	}
 	return products, nnzZ, z
 }

@@ -1,14 +1,16 @@
 #!/bin/sh
 # check.sh — the same gate as `make verify`, for environments without make:
-# full build, vet, the sptc-lint analyzer suite, and the race-detector test
-# sweep (-short for the bench experiments, full for the hot packages — see
-# the Makefile note), then the hot packages again with -tags assert so the
-# internal/invariant checks are compiled in.
+# full build, vet, the sptc-lint analyzer suite, the hot-path escape/BCE
+# budget (sptc-lint -perf vs lint/hotpath_budget.json), and the
+# race-detector test sweep (-short for the bench experiments, full for the
+# hot packages — see the Makefile note), then the hot packages again with
+# -tags assert so the internal/invariant checks are compiled in.
 set -eu
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/sptc-lint ./...
+go run ./cmd/sptc-lint -perf
 go test -race -short ./...
-go test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
-go test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan
+go test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs
+go test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs

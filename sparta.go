@@ -212,6 +212,13 @@ func BlockContract(x, y *BlockTensor, cmodesX, cmodesY []int, threads int) (*Blo
 	return blocksparse.Contract(x, y, cmodesX, cmodesY, threads)
 }
 
+// BlockContractCtx is BlockContract with cooperative cancellation: the
+// block-pair GEMM loop checkpoints ctx between chunk claims and returns
+// ctx.Err() once the context is done.
+func BlockContractCtx(ctx context.Context, x, y *BlockTensor, cmodesX, cmodesY []int, threads int) (*BlockTensor, error) {
+	return blocksparse.ContractCtx(ctx, x, y, cmodesX, cmodesY, threads)
+}
+
 // Hubbard generates the SpTC pair of Table 4 row id (1..10) at paper scale.
 func Hubbard(id int, seed int64) (x, y *BlockTensor, spec gen.HubbardSpec, err error) {
 	return gen.Hubbard(id, seed)
