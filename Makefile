@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint perf-baseline verify bench bench-json clean
+.PHONY: build test lint perf-baseline verify bench bench-json loadgen slo-check slo-baseline clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,28 @@ bench-json:
 	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -commit "$(COMMIT)" -json BENCH_1.json
 	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -commit "$(COMMIT)" -json BENCH_2.json
 	$(GO) run ./cmd/sptc-bench -exp planner -scale 20000 -commit "$(COMMIT)" -json BENCH_3.json
+
+# loadgen runs one open-loop load test against a private sptc-serve
+# instance (scripts/loadgen_run.sh) and writes loadgen_fresh.json plus the
+# server's access log and Chrome trace next to it.
+loadgen:
+	./scripts/loadgen_run.sh
+
+# slo-check gates a fresh run against the committed baseline: >50% client
+# p95 regression or >1pp shed-rate increase fails (see cmd/sptc-slo; the
+# default threshold absorbs same-machine run-to-run noise — tighten with
+# -max-p95-pct on a quiet box).
+slo-check:
+	OUT=loadgen_fresh.json ./scripts/loadgen_run.sh
+	$(GO) run ./cmd/sptc-slo -baseline BENCH_4.json -fresh loadgen_fresh.json
+
+# slo-baseline re-stamps BENCH_4.json from a fresh run. sptc-slo -stamp
+# refuses runs with sheds or errors, so a degraded run can never become the
+# bar later changes are measured against.
+slo-baseline:
+	OUT=loadgen_fresh.json ./scripts/loadgen_run.sh
+	$(GO) run ./cmd/sptc-slo -stamp -baseline BENCH_4.json -fresh loadgen_fresh.json
+	rm -f loadgen_fresh.json
 
 clean:
 	$(GO) clean ./...

@@ -7,19 +7,31 @@ import (
 	"strings"
 )
 
-// spanleak flags Tracer.Start* calls whose returned span is never ended: the
-// call result dropped as a statement, discarded with `_ =`, or assigned to a
-// variable that has no `.End()` call and never escapes the function. An
-// un-ended span records nothing (obs.Span appends its B/E pair at End), so a
-// leak silently deletes an interval from every trace — the kind of bug only
-// noticed when a Perfetto timeline is missing a stage.
+// spanleak flags Start* calls on the obs tracing types whose returned span
+// is never ended: the call result dropped as a statement, discarded with
+// `_ =`, or assigned to a variable that has no `.End()` call and never
+// escapes the function. An un-ended span records nothing (obs.Span and
+// obs.PhaseSpan append/record at End), so a leak silently deletes an
+// interval from every trace and a phase wall from every access-log line —
+// the kind of bug only noticed when a Perfetto timeline is missing a stage.
+//
+// Two producer/span pairs are enforced: Tracer.Start* → Span, and the
+// request-scoped ReqTrace.Start* → PhaseSpan.
 //
 // A span that escapes — returned, passed to a function, stored into a
 // structure — is assumed ended elsewhere and tolerated.
 var spanleakAnalyzer = &Analyzer{
 	Name: "spanleak",
-	Doc:  "Tracer.Start* results whose span is never End()ed",
+	Doc:  "Tracer/ReqTrace Start* results whose span is never End()ed",
 	Run:  runSpanleak,
+}
+
+// spanPairs maps span-producing receiver type names to the span type their
+// Start* methods return. A Start* method matching a receiver but returning
+// some other type is not a span producer (mismatched pairs don't count).
+var spanPairs = map[string]string{
+	"Tracer":   "Span",
+	"ReqTrace": "PhaseSpan",
 }
 
 func runSpanleak(pkgs []*Package) []Diagnostic {
@@ -51,7 +63,7 @@ func spanleakFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 			return true
 		case *ast.ExprStmt:
 			diags = append(diags, Diagnostic{pos, "spanleak",
-				"span from " + startName(call) + " is dropped and never ended; assign it and call End"})
+				"span from " + startName(p, call) + " is dropped and never ended; assign it and call End"})
 		case *ast.AssignStmt:
 			lhs := assignTarget(par, call)
 			id, isIdent := lhs.(*ast.Ident)
@@ -60,7 +72,7 @@ func spanleakFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
 			}
 			if id.Name == "_" {
 				diags = append(diags, Diagnostic{pos, "spanleak",
-					"span from " + startName(call) + " is discarded with _ and never ended"})
+					"span from " + startName(p, call) + " is discarded with _ and never ended"})
 				return true
 			}
 			obj := p.Info.Defs[id]
@@ -102,19 +114,32 @@ func parentMap(root ast.Node) map[ast.Node]ast.Node {
 }
 
 // isTracerStart matches method calls Start* on a (pointer to) named type
-// Tracer that return a named type Span — the obs tracing API shape, without
-// tying the analyzer to one import path.
+// from spanPairs that return that pair's named span type — the obs tracing
+// API shape, without tying the analyzer to one import path.
 func isTracerStart(p *Package, call *ast.CallExpr) bool {
+	return tracerStartRecv(p, call) != ""
+}
+
+// tracerStartRecv returns the matching receiver type name ("" = no match).
+func tracerStartRecv(p *Package, call *ast.CallExpr) string {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || !strings.HasPrefix(sel.Sel.Name, "Start") {
-		return false
+		return ""
 	}
 	recv, ok := p.Info.Types[sel.X]
-	if !ok || !isNamed(recv.Type, "Tracer") {
-		return false
+	if !ok {
+		return ""
 	}
-	res, ok := p.Info.Types[call]
-	return ok && isNamed(res.Type, "Span")
+	res, resOK := p.Info.Types[call]
+	if !resOK {
+		return ""
+	}
+	for recvName, spanName := range spanPairs {
+		if isNamed(recv.Type, recvName) && isNamed(res.Type, spanName) {
+			return recvName
+		}
+	}
+	return ""
 }
 
 // isNamed reports whether t (possibly behind one pointer) is a named type
@@ -130,10 +155,11 @@ func isNamed(t types.Type, name string) bool {
 	return ok && named.Obj().Name() == name
 }
 
-// startName renders the flagged call for the message, e.g. "Tracer.Start".
-func startName(call *ast.CallExpr) string {
+// startName renders the flagged call for the message, e.g. "Tracer.Start"
+// or "ReqTrace.StartPhase".
+func startName(p *Package, call *ast.CallExpr) string {
 	sel := call.Fun.(*ast.SelectorExpr)
-	return "Tracer." + sel.Sel.Name
+	return tracerStartRecv(p, call) + "." + sel.Sel.Name
 }
 
 // assignTarget returns the LHS expression matching the given RHS value of a

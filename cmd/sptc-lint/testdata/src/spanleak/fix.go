@@ -1,6 +1,7 @@
 // Package spanleak is the spanleak fixture: a local mirror of the obs
-// tracing API shape (named Tracer with Start* methods returning a named
-// Span) so the analyzer matches without importing the real package.
+// tracing API shapes (named Tracer with Start* methods returning a named
+// Span, and named ReqTrace with Start* methods returning a named
+// PhaseSpan) so the analyzer matches without importing the real package.
 package spanleak
 
 type Tracer struct{}
@@ -12,6 +13,19 @@ func (t *Tracer) Start(name string, tid int) Span { return Span{open: true} }
 func (t *Tracer) StartRegion(name string) Span { return Span{open: true} }
 
 func (s Span) End() {}
+
+// ReqTrace mirrors the request-scoped tracing producer.
+type ReqTrace struct{}
+
+type PhaseSpan struct{ open bool }
+
+func (rt *ReqTrace) StartPhase(name string) PhaseSpan { return PhaseSpan{open: true} }
+
+// StartRaw returns the wrong span type for its receiver: a mismatched
+// pair, which the analyzer must NOT treat as a span producer.
+func (rt *ReqTrace) StartRaw(name string) Span { return Span{} }
+
+func (ps PhaseSpan) End() {}
 
 // Other has a Start method too, but is no Tracer and returns no Span.
 type Other struct{}
@@ -76,4 +90,42 @@ func suppressedLeak(tr *Tracer) {
 func notATracer(o *Other) {
 	o.Start()
 	_ = o.Start()
+}
+
+func droppedPhase(rt *ReqTrace) {
+	rt.StartPhase("queue wait") // want 2 "never ended"
+}
+
+func blankDiscardPhase(rt *ReqTrace) {
+	_ = rt.StartPhase("admission") // want 6 "never ended"
+}
+
+func neverEndedPhase(rt *ReqTrace) {
+	ps := rt.StartPhase("contract") // want 8 "never ended"
+	_ = ps
+}
+
+func properlyEndedPhase(rt *ReqTrace) {
+	ps := rt.StartPhase("cache lookup")
+	ps.End()
+}
+
+func deferredEndPhase(rt *ReqTrace) {
+	ps := rt.StartPhase("hty prepare")
+	defer ps.End()
+}
+
+func inlineEndPhase(rt *ReqTrace) {
+	rt.StartPhase("writeback").End()
+}
+
+func escapesByReturnPhase(rt *ReqTrace) PhaseSpan {
+	ps := rt.StartPhase("input")
+	return ps
+}
+
+func mismatchedPairIgnored(rt *ReqTrace) {
+	// StartRaw returns Span, not PhaseSpan: no producer match, no finding.
+	rt.StartRaw("x")
+	_ = rt.StartRaw("y")
 }

@@ -1,0 +1,432 @@
+// Command sptc-loadgen drives sptc-serve with open-loop load and reports
+// whether the server's own telemetry agrees with what the client saw.
+//
+//	sptc-serve -addr :8080 &
+//	sptc-loadgen -addr http://localhost:8080 -rps 30 -duration 30s \
+//	    -hot-ratio 0.9 -cold-plans 4 -json BENCH_4.json
+//
+// Open-loop means arrivals fire at their scheduled times (start + i/RPS)
+// regardless of how many requests are still outstanding — the generator
+// never waits for the server, so overload shows up as queueing and sheds
+// instead of silently slowing the offered rate (the coordinated-omission
+// trap of closed-loop drivers).
+//
+// The tensor mix: a pool of X sides contracted against one hot Y (whose
+// prepared HtY the plan cache retains) and -cold-plans alternative Y's,
+// chosen per request with probability -hot-ratio for the hot plan. Cold
+// picks rotate, so with enough cache entries they all eventually warm —
+// the knob controls plan-cache pressure, not a fixed miss rate.
+//
+// Latency is measured twice: client-side into an HDR-style fixed-bucket
+// histogram (obs.LatencyBuckets, the exact layout the server's RED
+// histogram uses), and server-side by scraping /metrics before and after
+// the run and diffing the cumulative bucket counts — so both quantile sets
+// describe exactly this run's distribution and should agree to within a
+// bucket's width. -check enforces that agreement (plus zero transport
+// errors and a warm cache) with a nonzero exit for CI.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sparta/internal/bench"
+	"sparta/internal/gen"
+	"sparta/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "sptc-serve base URL")
+		rps       = flag.Float64("rps", 20, "offered request rate (open loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		hotRatio  = flag.Float64("hot-ratio", 0.9, "fraction of requests against the hot (cached) plan")
+		coldPlans = flag.Int("cold-plans", 4, "number of alternative Y tensors rotated through cold requests")
+		xPool     = flag.Int("x-pool", 4, "number of distinct X tensors cycled through requests")
+		scale     = flag.Int("scale", 4000, "non-zeros per generated tensor")
+		seed      = flag.Int64("seed", 1, "generator seed (tensors and mix schedule)")
+		timeoutMS = flag.Int("timeout-ms", 0, "per-request server-side deadline (0 = none)")
+		jsonOut   = flag.String("json", "", "write the BENCH_4.json report here ('' = stdout summary only)")
+		commit    = flag.String("commit", "", "commit hash for the meta block (default: build-info VCS stamp)")
+		check     = flag.Bool("check", false, "exit nonzero on transport errors, client/server quantile disagreement, or a cold cache")
+		maxAgree  = flag.Float64("max-agreement-pct", 10, "largest allowed client/server quantile gap with -check")
+	)
+	flag.Parse()
+	if err := run(*addr, *rps, *duration, *hotRatio, *coldPlans, *xPool, *scale,
+		*seed, *timeoutMS, *jsonOut, *commit, *check, *maxAgree); err != nil {
+		fmt.Fprintf(os.Stderr, "sptc-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// result is one request's outcome as the client saw it.
+type result struct {
+	dur     time.Duration
+	outcome string // "ok", "shed_inflight", "shed_memory", "timeout", "error"
+	err     error
+}
+
+func run(addr string, rps float64, duration time.Duration, hotRatio float64,
+	coldPlans, xPool, scale int, seed int64, timeoutMS int,
+	jsonOut, commit string, check bool, maxAgree float64) error {
+	if rps <= 0 {
+		return fmt.Errorf("-rps must be positive")
+	}
+	if coldPlans < 1 && hotRatio < 1 {
+		return fmt.Errorf("-cold-plans must be >= 1 when -hot-ratio < 1")
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	if err := waitHealthy(client, addr, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Upload the working set. X dims end in 50 and every Y starts with 50 so
+	// one spec covers all pairs.
+	const spec = "abc,cde->abde"
+	rng := rand.New(rand.NewSource(seed))
+	xNames := make([]string, xPool)
+	for i := range xNames {
+		xNames[i] = fmt.Sprintf("loadX%d", i)
+		x := gen.Random([]uint64{40, 30, 50}, scale, rng.Int63())
+		if err := upload(client, addr, xNames[i], x); err != nil {
+			return err
+		}
+	}
+	yNames := []string{"loadYhot"}
+	for i := 0; i < coldPlans; i++ {
+		yNames = append(yNames, fmt.Sprintf("loadYcold%d", i))
+	}
+	for _, name := range yNames {
+		y := gen.Random([]uint64{50, 35, 20}, scale, rng.Int63())
+		if err := upload(client, addr, name, y); err != nil {
+			return err
+		}
+	}
+
+	before, err := scrape(client, addr)
+	if err != nil {
+		return err
+	}
+
+	// Open loop: one goroutine per scheduled arrival; a collector folds the
+	// results into the client histogram so no worker shares mutable state.
+	results := make(chan result, 1024)
+	var wg sync.WaitGroup
+	var collected sync.WaitGroup
+	hist := obs.NewHistShard(obs.LatencyBuckets)
+	counts := map[string]int{}
+	var firstErr error
+	collected.Add(1)
+	go func() {
+		defer collected.Done()
+		for r := range results {
+			counts[r.outcome]++
+			if r.outcome == "ok" {
+				hist.Observe(r.dur.Seconds())
+			} else if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}()
+
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / rps)
+	n := 0
+	for {
+		at := start.Add(time.Duration(n) * interval)
+		if at.Sub(start) >= duration {
+			break
+		}
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		// Deterministic mix schedule: request n's Y depends only on (seed, n).
+		mixRng := rand.New(rand.NewSource(seed + int64(n)*1_000_003))
+		y := yNames[0]
+		if hotRatio < 1 && mixRng.Float64() >= hotRatio {
+			y = yNames[1+n%coldPlans]
+		}
+		x := xNames[n%len(xNames)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- fire(client, addr, x, y, spec, timeoutMS)
+		}()
+		n++
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+	collected.Wait()
+
+	after, err := scrape(client, addr)
+	if err != nil {
+		return err
+	}
+
+	rep, err := report(commit, rps, wall, hotRatio, coldPlans, scale, seed,
+		n, counts, hist, before, after)
+	if err != nil {
+		return err
+	}
+	printSummary(os.Stdout, rep, counts)
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	if check {
+		return checkRun(rep, firstErr, maxAgree)
+	}
+	return nil
+}
+
+func waitHealthy(client *http.Client, addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server at %s not healthy: %v", addr, err)
+			}
+			return fmt.Errorf("server at %s not healthy", addr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+type tensorIface interface{ WriteTNS(w io.Writer) error }
+
+func upload(client *http.Client, addr, name string, t tensorIface) error {
+	var buf bytes.Buffer
+	if err := t.WriteTNS(&buf); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, addr+"/tensors/"+name, &buf)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("uploading %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("uploading %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// fire sends one contraction and classifies the reply. The wall includes
+// reading the full response body — the latency a real client experiences.
+func fire(client *http.Client, addr, x, y, spec string, timeoutMS int) result {
+	body, _ := json.Marshal(map[string]interface{}{
+		"x": x, "y": y, "spec": spec, "timeout_ms": timeoutMS,
+	})
+	t0 := time.Now()
+	resp, err := client.Post(addr+"/contract", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{outcome: "error", err: err}
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	dur := time.Since(t0)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return result{dur: dur, outcome: "ok"}
+	case resp.StatusCode == http.StatusServiceUnavailable && bytes.Contains(reply, []byte("inflight")):
+		return result{dur: dur, outcome: "shed_inflight"}
+	case resp.StatusCode == http.StatusServiceUnavailable && bytes.Contains(reply, []byte("budget")):
+		return result{dur: dur, outcome: "shed_memory"}
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return result{dur: dur, outcome: "timeout"}
+	default:
+		return result{dur: dur, outcome: "error",
+			err: fmt.Errorf("POST /contract: status %d: %s", resp.StatusCode, reply)}
+	}
+}
+
+// metricsPage is one scrape: the raw text plus the parsed families this
+// tool reads.
+type metricsPage struct {
+	hist  *bench.ScrapedHist
+	shed  map[string]float64
+	cache map[string]float64
+}
+
+func scrape(client *http.Client, addr string) (*metricsPage, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scraping /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	text := string(buf)
+	return &metricsPage{
+		hist:  bench.ParseHistogram(text, "sptc_serve_request_seconds", map[string]string{"route": "contract"}),
+		shed:  bench.ParseCounters(text, "sptc_serve_shed_total", "reason"),
+		cache: bench.ParseCounters(text, "sptc_engine_cache_total", "outcome"),
+	}, nil
+}
+
+func report(commit string, rps float64, wall time.Duration, hotRatio float64,
+	coldPlans, scale int, seed int64, requests int, counts map[string]int,
+	hist *obs.HistShard, before, after *metricsPage) (*bench.LoadReport, error) {
+	run := bench.LoadRun{
+		TargetRPS:   rps,
+		DurationSec: wall.Seconds(),
+		Requests:    requests,
+		OK:          counts["ok"],
+		Errors:      counts["error"],
+		HotRatio:    hotRatio,
+		ColdPlans:   coldPlans,
+	}
+	run.AchievedRPS = float64(run.OK) / wall.Seconds()
+
+	// Shed breakdown from the server's own by-reason counters (delta over
+	// the run), cross-checkable against the client's 503 classification.
+	shed := map[string]int{}
+	var shedTotal int
+	for reason, v := range after.shed {
+		d := int(v - before.shed[reason])
+		if d > 0 {
+			shed[reason] = d
+			shedTotal += d
+		}
+	}
+	if len(shed) > 0 {
+		run.Shed = shed
+	}
+	if requests > 0 {
+		run.ShedRate = float64(shedTotal) / float64(requests)
+	}
+	run.CacheHits = uint64(after.cache["hit"] - before.cache["hit"])
+	run.CacheMisses = uint64(after.cache["miss"] - before.cache["miss"])
+
+	// Client quantiles from the generator's own histogram.
+	cCounts := hist.Counts()
+	run.Client = bench.Quantiles{
+		Count: hist.Count(),
+		P50:   obs.QuantileFromBuckets(obs.LatencyBuckets, cCounts, 0.50),
+		P95:   obs.QuantileFromBuckets(obs.LatencyBuckets, cCounts, 0.95),
+		P99:   obs.QuantileFromBuckets(obs.LatencyBuckets, cCounts, 0.99),
+	}
+
+	// Server quantiles from the scrape delta. The server observes every
+	// contract request (sheds included); restrict the comparison to runs
+	// where the two populations coincide — the agreement map stays empty
+	// otherwise and -check flags it only via its error/shed gates.
+	if after.hist != nil {
+		delta := after.hist.Delta(before.hist)
+		if delta == nil {
+			return nil, fmt.Errorf("server histogram changed shape mid-run (restart?)")
+		}
+		var total uint64
+		for _, c := range delta {
+			total += c
+		}
+		run.Server = bench.Quantiles{
+			Count: total,
+			P50:   obs.QuantileFromBuckets(after.hist.Bounds, delta, 0.50),
+			P95:   obs.QuantileFromBuckets(after.hist.Bounds, delta, 0.95),
+			P99:   obs.QuantileFromBuckets(after.hist.Bounds, delta, 0.99),
+		}
+		if run.Client.Count > 0 && total == run.Client.Count {
+			run.AgreementPct = map[string]float64{
+				"p50": bench.AgreementPct(run.Client.P50, run.Server.P50),
+				"p95": bench.AgreementPct(run.Client.P95, run.Server.P95),
+				"p99": bench.AgreementPct(run.Client.P99, run.Server.P99),
+			}
+		}
+	}
+
+	dataset := fmt.Sprintf("synthetic 3-mode pool (nnz=%d), spec abc,cde->abde, hot-ratio %.2f, %d cold plans",
+		scale, hotRatio, coldPlans)
+	return &bench.LoadReport{Meta: bench.LoadMeta(commit, dataset, seed, rps), Run: run}, nil
+}
+
+func printSummary(w io.Writer, rep *bench.LoadReport, counts map[string]int) {
+	r := rep.Run
+	fmt.Fprintf(w, "offered %.1f rps for %.1fs: %d requests, %d ok (%.1f rps achieved), %d errors, shed rate %.2f%%\n",
+		r.TargetRPS, r.DurationSec, r.Requests, r.OK, r.AchievedRPS, r.Errors, 100*r.ShedRate)
+	var outs []string
+	for o := range counts {
+		outs = append(outs, o)
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		if o != "ok" {
+			fmt.Fprintf(w, "  %-14s %d\n", o, counts[o])
+		}
+	}
+	fmt.Fprintf(w, "client  p50 %s  p95 %s  p99 %s  (n=%d)\n",
+		fmtDur(r.Client.P50), fmtDur(r.Client.P95), fmtDur(r.Client.P99), r.Client.Count)
+	fmt.Fprintf(w, "server  p50 %s  p95 %s  p99 %s  (n=%d)\n",
+		fmtDur(r.Server.P50), fmtDur(r.Server.P95), fmtDur(r.Server.P99), r.Server.Count)
+	if len(r.AgreementPct) > 0 {
+		fmt.Fprintf(w, "agreement: p50 %.1f%%  p95 %.1f%%  p99 %.1f%%\n",
+			r.AgreementPct["p50"], r.AgreementPct["p95"], r.AgreementPct["p99"])
+	}
+	fmt.Fprintf(w, "plan cache over run: %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+}
+
+func fmtDur(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// checkRun is the CI gate: a run is usable as a baseline or smoke signal
+// only if the client saw no transport errors, both latency views agree,
+// and the plan cache actually absorbed warm traffic.
+func checkRun(rep *bench.LoadReport, firstErr error, maxAgree float64) error {
+	r := rep.Run
+	var problems []string
+	if r.Errors > 0 {
+		problems = append(problems, fmt.Sprintf("%d transport/server errors (first: %v)", r.Errors, firstErr))
+	}
+	if r.OK == 0 {
+		problems = append(problems, "no successful requests")
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if g, ok := r.AgreementPct[q]; ok && g > maxAgree {
+			problems = append(problems, fmt.Sprintf("client/server %s disagree by %.1f%% (max %.1f%%)", q, g, maxAgree))
+		}
+	}
+	if len(r.AgreementPct) == 0 && r.OK > 0 {
+		problems = append(problems,
+			"no client/server cross-check: populations differ (sheds or concurrent traffic) or the scrape failed")
+	}
+	if r.CacheHits == 0 {
+		problems = append(problems, "plan cache saw no hits (hot path never warmed)")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("check failed:\n  - %s", strings.Join(problems, "\n  - "))
+	}
+	return nil
+}

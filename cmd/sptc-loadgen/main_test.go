@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sparta/internal/bench"
+	"sparta/internal/obs"
+)
+
+// stubServer mimics the sptc-serve surface the load generator depends on —
+// /healthz, PUT /tensors, POST /contract, /metrics with the RED histogram
+// and cache counters — with a deterministic latency profile, so the whole
+// client pipeline (open loop, scrape delta, quantile cross-check, report,
+// -check gates) runs hermetically in-process.
+type stubServer struct {
+	reg  *obs.Registry
+	mu   sync.Mutex
+	seen map[string]bool // y names contracted at least once (plan cache stand-in)
+	reqN int
+}
+
+func newStub() *stubServer {
+	return &stubServer{reg: obs.NewRegistry(), seen: map[string]bool{}}
+}
+
+func (st *stubServer) handler() http.Handler {
+	mux := obs.NewMux(st.reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("PUT /tensors/{name}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "{}")
+	})
+	mux.HandleFunc("POST /contract", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		var req struct {
+			Y string `json:"y"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		st.mu.Lock()
+		hit := st.seen[req.Y]
+		st.seen[req.Y] = true
+		n := st.reqN
+		st.reqN++
+		st.mu.Unlock()
+		outcome := "miss"
+		if hit {
+			outcome = "hit"
+		}
+		st.reg.Counter("sptc_engine_cache_total", "t", "outcome", outcome).Inc()
+		// Latency profile: deterministic ramp 5..25ms, long enough that the
+		// sleep dominates per-request client overhead even under -race.
+		time.Sleep(time.Duration(5*(1+n%5)) * time.Millisecond)
+		st.reg.Histogram("sptc_serve_request_seconds", "t", obs.LatencyBuckets,
+			"route", "contract").Observe(time.Since(t0).Seconds())
+		fmt.Fprintln(w, `{"nnz":1}`)
+	})
+	return mux
+}
+
+// TestLoadgenEndToEnd runs the full generator against the stub and checks
+// the emitted BENCH_4.json: counts add up, the quantile cross-check
+// machinery produces a complete agreement map, and the check passes. The
+// agreement bound here is deliberately slack — client-side latency includes
+// connection and scheduling overhead the stub's handler window never sees,
+// which inflates disagreement on a loaded single-core CI box under -race;
+// the tight ≤10% agreement contract is held by the real-server run that
+// stamps the committed BENCH_4.json (make slo-baseline) and by the exact
+// quantile round-trip tests in internal/bench.
+func TestLoadgenEndToEnd(t *testing.T) {
+	st := newStub()
+	// Pre-observe nothing: the before-scrape must tolerate an absent family.
+	ts := httptest.NewServer(st.handler())
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "BENCH_4.json")
+	err := run(ts.URL, 60, 1500*time.Millisecond, 0.8, 2, 2, 100, 7, 0, out, "testcommit", true, 75)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.LoadReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("BENCH_4.json: %v", err)
+	}
+	if rep.Meta.Bench != "loadgen" || rep.Meta.Commit != "testcommit" || rep.Meta.Seed != 7 {
+		t.Errorf("meta block: %+v", rep.Meta)
+	}
+	r := rep.Run
+	if r.Requests == 0 || r.OK != r.Requests || r.Errors != 0 {
+		t.Fatalf("run counts: %+v", r)
+	}
+	if r.Client.Count != uint64(r.OK) || r.Server.Count != uint64(r.OK) {
+		t.Errorf("histogram counts: client %d server %d ok %d", r.Client.Count, r.Server.Count, r.OK)
+	}
+	// The stub sleeps 5-25ms; both views must land in a plausible range.
+	if r.Client.P50 < 0.002 || r.Client.P99 > 0.5 {
+		t.Errorf("client quantiles implausible: %+v", r.Client)
+	}
+	for q, g := range r.AgreementPct {
+		if g > 75 {
+			t.Errorf("%s disagreement %.1f%%", q, g)
+		}
+	}
+	if len(r.AgreementPct) != 3 {
+		t.Errorf("agreement map incomplete: %v", r.AgreementPct)
+	}
+	if r.CacheHits == 0 || r.CacheMisses == 0 {
+		t.Errorf("cache traffic not observed: hits=%d misses=%d", r.CacheHits, r.CacheMisses)
+	}
+	if r.CacheMisses != 3 {
+		// 1 hot + 2 cold plans, each missing exactly once in the stub.
+		t.Errorf("cache misses = %d, want 3 (one per distinct Y)", r.CacheMisses)
+	}
+}
+
+// TestLoadgenCheckFailsOnErrors: a server that 500s must fail -check.
+func TestLoadgenCheckFailsOnErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux := obs.NewMux(reg)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "ok") })
+	mux.HandleFunc("PUT /tensors/{name}", func(w http.ResponseWriter, _ *http.Request) { fmt.Fprintln(w, "{}") })
+	mux.HandleFunc("POST /contract", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	err := run(ts.URL, 100, 200*time.Millisecond, 1, 1, 1, 100, 7, 0, "", "", true, 10)
+	if err == nil {
+		t.Fatal("check passed against a 500ing server")
+	}
+}

@@ -14,6 +14,13 @@
 //	POST /contract         run one contraction (JSON request, JSON reply)
 //	GET  /healthz          liveness
 //	GET  /metrics          Prometheus text (plus /debug/pprof, /debug/vars)
+//	GET  /debug/trace      Chrome trace of request span trees (with -trace)
+//
+// Every tensor/contract request carries a request ID (adopted from
+// X-Request-ID or generated) that is echoed in the response header, keyed
+// into the access log (-access-log: one JSON line per request with
+// per-phase walls), and names the request's span tree in the Chrome trace
+// (-trace file, or scrape /debug/trace live).
 //
 // Two gates protect the process (DESIGN.md §10):
 //
@@ -30,13 +37,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
+
+	"sparta/internal/obs"
 )
 
 func main() {
@@ -49,6 +63,9 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent contractions")
 		queueWait    = flag.Duration("queue-wait", 2*time.Second, "max time a request waits for an inflight slot before 503")
 		demo         = flag.Bool("demo", false, "preload synthetic tensors demoA and demoB")
+		traceFile    = flag.String("trace", "", "record request span trees; write Chrome trace here on shutdown ('' = tracing off)")
+		traceLimit   = flag.Int("trace-limit", 1<<20, "max buffered trace events before new spans are dropped (0 = unbounded)")
+		accessLog    = flag.String("access-log", "", "structured access log destination: a path, 'stdout', or 'stderr' ('' = off)")
 	)
 	flag.Parse()
 
@@ -63,6 +80,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer()
+		tracer.SetLimit(*traceLimit)
+	}
+	var accessW io.Writer
+	var accessF *os.File
+	switch *accessLog {
+	case "":
+	case "stdout", "-":
+		accessW = os.Stdout
+	case "stderr":
+		accessW = os.Stderr
+	default:
+		accessF, err = os.Create(*accessLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sptc-serve: -access-log: %v\n", err)
+			os.Exit(2)
+		}
+		accessW = accessF
+	}
+
 	srv := newServer(serverConfig{
 		Threads:      *threads,
 		CacheEntries: *cacheEntries,
@@ -70,6 +109,8 @@ func main() {
 		DRAMBudget:   db,
 		MaxInflight:  *maxInflight,
 		QueueWait:    *queueWait,
+		Tracer:       tracer,
+		AccessLog:    accessW,
 	})
 	if *demo {
 		srv.loadDemo()
@@ -77,8 +118,33 @@ func main() {
 
 	log.Printf("sptc-serve listening on %s (inflight=%d, dram-budget=%d)", *addr, *maxInflight, db)
 	hs := &http.Server{Addr: *addr, Handler: srv.handler(), ReadHeaderTimeout: 10 * time.Second}
-	if err := hs.ListenAndServe(); err != nil {
+
+	// Serve until SIGINT/SIGTERM, then drain and flush the trace/log files —
+	// the span trees are only worth recording if they survive shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
 		log.Fatalf("sptc-serve: %v", err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("sptc-serve: shutdown: %v", err)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceFile); err != nil {
+			log.Printf("sptc-serve: writing trace: %v", err)
+		} else {
+			log.Printf("sptc-serve: wrote %d trace events to %s (%d dropped)",
+				tracer.Len(), *traceFile, tracer.Dropped())
+		}
+	}
+	if accessF != nil {
+		_ = accessF.Close()
 	}
 }
 

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +32,12 @@ type serverConfig struct {
 	DRAMBudget   uint64
 	MaxInflight  int
 	QueueWait    time.Duration
+	// Tracer, when non-nil, records one span tree per request on a private
+	// track (exported at /debug/trace and by -trace on shutdown).
+	Tracer *obs.Tracer
+	// AccessLog, when non-nil, receives one JSON line per tensor/contract
+	// request (request ID, status, outcome, per-phase walls, tags).
+	AccessLog io.Writer
 }
 
 // server is the HTTP front end: a tensor store, the caching engine, and the
@@ -41,6 +50,13 @@ type server struct {
 
 	queueWait time.Duration
 	inflight  chan struct{} // counting semaphore; nil = unbounded
+	// waiters counts requests currently blocked on an inflight slot — the
+	// queue depth the Retry-After header is derived from.
+	waiters atomic.Int64
+
+	tracer   *obs.Tracer
+	accessMu sync.Mutex
+	accessW  io.Writer
 
 	// admMu serializes admission decisions so concurrent requests cannot
 	// jointly oversubscribe the budget; admitted holds the summed admitted
@@ -71,6 +87,8 @@ func newServer(cfg serverConfig) *server {
 		adm:       engine.Admission{DRAMBudget: cfg.DRAMBudget},
 		threads:   threads,
 		queueWait: cfg.QueueWait,
+		tracer:    cfg.Tracer,
+		accessW:   cfg.AccessLog,
 		tensors:   map[string]*coo.Tensor{},
 		gInflight: reg.Gauge("sptc_serve_inflight", "contractions currently executing"),
 	}
@@ -97,16 +115,138 @@ func (s *server) handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("PUT /tensors/{name}", s.handlePutTensor)
-	mux.HandleFunc("GET /tensors/{name}", s.handleGetTensor)
-	mux.HandleFunc("POST /contract", s.handleContract)
+	mux.HandleFunc("PUT /tensors/{name}", s.instrumented("tensors", s.handlePutTensor))
+	mux.HandleFunc("GET /tensors/{name}", s.instrumented("tensors", s.handleGetTensor))
+	mux.HandleFunc("POST /contract", s.instrumented("contract", s.handleContract))
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
 }
 
-// countReq folds one request outcome into the metrics registry.
-func (s *server) countReq(route, outcome string) {
+// statusWriter captures the status code for the access log and RED metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a handler with the request lifecycle: assign (or adopt
+// from X-Request-ID) a request ID, open a ReqTrace on a private trace track,
+// thread it through the context so engine and core phases land on it, then
+// observe the wall into the RED histogram and emit one access-log line.
+func (s *server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		rt := obs.StartRequest(s.tracer, route, id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(obs.WithReq(r.Context(), rt)))
+		wall := time.Since(start)
+		s.reg.Histogram("sptc_serve_request_seconds", "request wall time by route",
+			obs.LatencyBuckets, "route", route).Observe(wall.Seconds())
+		rt.Finish()
+		s.writeAccess(rt, r, sw.status, wall)
+	}
+}
+
+// accessLine is one structured access-log record: everything needed to find
+// the request again — its ID resolves to a span tree in the Chrome trace —
+// plus the per-phase walls so slow requests are attributable without the
+// trace at all.
+type accessLine struct {
+	TS        string            `json:"ts"`
+	RequestID string            `json:"request_id"`
+	Route     string            `json:"route"`
+	Method    string            `json:"method"`
+	Path      string            `json:"path"`
+	Status    int               `json:"status"`
+	WallNS    int64             `json:"wall_ns"`
+	Phases    map[string]int64  `json:"phases,omitempty"`
+	Tags      map[string]string `json:"tags,omitempty"`
+}
+
+func (s *server) writeAccess(rt *obs.ReqTrace, r *http.Request, status int, wall time.Duration) {
+	if s.accessW == nil {
+		return
+	}
+	line := accessLine{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID: rt.ID(),
+		Route:     rt.Route(),
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    status,
+		WallNS:    wall.Nanoseconds(),
+		Tags:      rt.Tags(),
+	}
+	if ph := rt.Phases(); len(ph) > 0 {
+		line.Phases = make(map[string]int64, len(ph))
+		for _, p := range ph {
+			line.Phases[p.Name] += p.Dur.Nanoseconds() // repeated phases sum
+		}
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	buf = append(buf, '\n')
+	s.accessMu.Lock()
+	_, _ = s.accessW.Write(buf)
+	s.accessMu.Unlock()
+}
+
+// handleTrace serves the accumulated Chrome trace (load into Perfetto or
+// chrome://tracing; each request is one track named by its request ID's
+// span tree).
+func (s *server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	if s.tracer == nil {
+		http.Error(w, "tracing disabled (start with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tracer.WriteJSON(w)
+}
+
+// countReq folds one request outcome into the metrics registry and tags it
+// onto the request trace so the access log carries it too. Shed outcomes
+// additionally feed the by-reason shed counter the load generator reads.
+func (s *server) countReq(r *http.Request, route, outcome string) {
 	s.reg.Counter("sptc_serve_requests_total", "requests by route and outcome",
 		"route", route, "outcome", outcome).Inc()
+	if reason, ok := strings.CutPrefix(outcome, "shed_"); ok {
+		s.reg.Counter("sptc_serve_shed_total", "requests shed by reason",
+			"reason", reason).Inc()
+	}
+	obs.ReqFrom(r.Context()).SetTag("outcome", outcome)
+}
+
+// retryAfterSecs derives the Retry-After hint on 503s from the current queue
+// depth: with W requests already waiting for one of C slots, a newcomer's
+// expected wait is on the order of W/C service times, clamped to [1, 30]s.
+func (s *server) retryAfterSecs() int {
+	c := 1
+	if s.inflight != nil {
+		c = cap(s.inflight)
+	}
+	secs := 1 + int(s.waiters.Load())/c
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// shed writes a 503 with the Retry-After hint and records the outcome.
+func (s *server) shed(w http.ResponseWriter, r *http.Request, outcome, msg string) {
+	s.countReq(r, "contract", outcome)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+	writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: msg})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -143,14 +283,14 @@ func (s *server) handlePutTensor(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	t, err := coo.ReadTNS(r.Body)
 	if err != nil {
-		s.countReq("tensors", "bad_request")
+		s.countReq(r, "tensors", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 		return
 	}
 	s.mu.Lock()
 	s.tensors[name] = t
 	s.mu.Unlock()
-	s.countReq("tensors", "ok")
+	s.countReq(r, "tensors", "ok")
 	writeJSON(w, http.StatusOK, s.infoFor(name, t))
 }
 
@@ -160,11 +300,11 @@ func (s *server) handleGetTensor(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tensors[name]
 	s.mu.RUnlock()
 	if !ok {
-		s.countReq("tensors", "not_found")
+		s.countReq(r, "tensors", "not_found")
 		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("no tensor %q", name)})
 		return
 	}
-	s.countReq("tensors", "ok")
+	s.countReq(r, "tensors", "ok")
 	writeJSON(w, http.StatusOK, s.infoFor(name, t))
 }
 
@@ -182,6 +322,7 @@ type contractRequest struct {
 }
 
 type contractReply struct {
+	RequestID   string   `json:"request_id,omitempty"`
 	Spec        string   `json:"spec"`
 	OutDims     []uint64 `json:"out_dims"`
 	NNZ         int      `json:"nnz"`
@@ -230,6 +371,8 @@ func (s *server) acquireSlot(ctx context.Context) bool {
 	if s.queueWait <= 0 {
 		return false
 	}
+	s.waiters.Add(1)
+	defer s.waiters.Add(-1)
 	timer := time.NewTimer(s.queueWait)
 	defer timer.Stop()
 	select {
@@ -251,7 +394,7 @@ func (s *server) releaseSlot() {
 func (s *server) handleContract(w http.ResponseWriter, r *http.Request) {
 	var req contractRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.countReq("contract", "bad_request")
+		s.countReq(r, "contract", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: "bad JSON: " + err.Error()})
 		return
 	}
@@ -266,7 +409,7 @@ func (s *server) handleContract(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		s.countReq("contract", "bad_request")
+		s.countReq(r, "contract", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 	}
 }
@@ -275,6 +418,11 @@ func (s *server) handleContract(w http.ResponseWriter, r *http.Request) {
 // error only for bad requests (the caller writes 400), and writes every
 // other reply itself.
 func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRequest, alg core.Algorithm, kernel core.Kernel) error {
+	rt := obs.ReqFrom(r.Context())
+	rt.SetTag("spec", req.Spec)
+	rt.SetTag("x", req.X)
+	rt.SetTag("y", req.Y)
+
 	s.mu.RLock()
 	x, okX := s.tensors[req.X]
 	y, okY := s.tensors[req.Y]
@@ -305,9 +453,11 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 	}
 
 	// Gate 1: concurrency. Queue briefly, then shed.
-	if !s.acquireSlot(ctx) {
-		s.countReq("contract", "shed_inflight")
-		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: "server at max inflight contractions"})
+	spQ := rt.StartPhase("queue wait")
+	got := s.acquireSlot(ctx)
+	spQ.End()
+	if !got {
+		s.shed(w, r, "shed_inflight", "server at max inflight contractions")
 		return nil
 	}
 	defer s.releaseSlot()
@@ -317,29 +467,31 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 	// Gate 2: memory. Only the Sparta algorithm goes through the prepared
 	// path, so only it has the footprint model; the baselines run ungated
 	// (they exist for A/B comparison, not production serving).
+	spA := rt.StartPhase("admission")
 	release, shedObj, aerr := s.admit(ctx, req, x, y, opt)
+	spA.End()
 	if aerr != nil {
 		return aerr
 	}
 	if shedObj != "" {
-		s.countReq("contract", "shed_memory")
-		writeJSON(w, http.StatusServiceUnavailable, errorReply{
-			Error: fmt.Sprintf("estimated footprint exceeds DRAM budget (%s does not fit)", shedObj),
-		})
+		s.shed(w, r, "shed_memory",
+			fmt.Sprintf("estimated footprint exceeds DRAM budget (%s does not fit)", shedObj))
 		return nil
 	}
 	defer release()
 
 	start := time.Now()
+	spC := rt.StartPhase("contract")
 	z, rep, err := s.eng.Einsum(ctx, req.Spec, x, y, opt)
+	spC.End()
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded):
-		s.countReq("contract", "timeout")
+		s.countReq(r, "contract", "timeout")
 		writeJSON(w, http.StatusGatewayTimeout, errorReply{Error: err.Error()})
 		return nil
 	case errors.Is(err, context.Canceled):
-		s.countReq("contract", "canceled")
+		s.countReq(r, "contract", "canceled")
 		// The client is gone; status is moot but 499-style close is not
 		// expressible, so use 503.
 		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
@@ -348,11 +500,22 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 		return err
 	}
 
+	// Fold the kernel's own stage timings into the request record: the span
+	// tree shows them as core spans; the access log gets them as phases.
+	rt.AddPhase("stage_input", rep.StageWall[core.StageInput])
+	rt.AddPhase("stage_search", rep.StageWall[core.StageSearch])
+	rt.AddPhase("stage_accum", rep.StageWall[core.StageAccum])
+	rt.AddPhase("stage_write", rep.StageWall[core.StageWrite])
+	rt.AddPhase("stage_sort", rep.StageWall[core.StageSort])
+	rt.SetTag("hty_reused", strconv.FormatBool(rep.HtYReused))
+	rt.SetTag("nnz_z", strconv.Itoa(z.NNZ()))
+
 	st := s.eng.Stats()
-	s.countReq("contract", "ok")
+	s.countReq(r, "contract", "ok")
 	s.reg.Histogram("sptc_serve_contract_seconds", "contraction wall time",
 		[]float64{0.001, 0.01, 0.1, 1, 10}).Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, contractReply{
+		RequestID:   rt.ID(),
 		Spec:        req.Spec,
 		OutDims:     z.Dims,
 		NNZ:         z.NNZ(),
@@ -379,7 +542,7 @@ func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tenso
 	}
 	// Resolve the contract modes so the Y side can be prepared (cached
 	// across requests) and its exact resident size used in the estimate.
-	pr, _, err := s.prepareFor(req.Spec, x, y, opt)
+	pr, _, err := s.prepareFor(ctx, req.Spec, x, y, opt)
 	if err != nil {
 		return release, "", err
 	}
@@ -409,7 +572,7 @@ func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tenso
 // prepareFor parses the spec far enough to prepare the Y side through the
 // engine's plan cache (the later Einsum call re-resolves the same cached
 // plan — the fingerprint lookup is the cheap part).
-func (s *server) prepareFor(spec string, x, y *coo.Tensor, opt core.Options) (*core.PreparedY, bool, error) {
+func (s *server) prepareFor(ctx context.Context, spec string, x, y *coo.Tensor, opt core.Options) (*core.PreparedY, bool, error) {
 	ein, err := einsum.Parse(spec)
 	if err != nil {
 		return nil, false, err
@@ -417,5 +580,5 @@ func (s *server) prepareFor(spec string, x, y *coo.Tensor, opt core.Options) (*c
 	if err := ein.CheckRanks(spec, x.Order(), y.Order()); err != nil {
 		return nil, false, err
 	}
-	return s.eng.Prepare(y, ein.CmodesY, opt)
+	return s.eng.PrepareCtx(ctx, y, ein.CmodesY, opt)
 }

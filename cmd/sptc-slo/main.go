@@ -1,0 +1,150 @@
+// Command sptc-slo is the load-SLO regression gate: it diffs a fresh
+// sptc-loadgen run (BENCH_4.json schema) against a committed baseline and
+// fails when the serving latency or shed behaviour regressed.
+//
+//	sptc-loadgen -addr ... -json fresh.json
+//	sptc-slo -baseline BENCH_4.json -fresh fresh.json
+//
+// Gates (each overridable):
+//
+//   - p95 latency: fresh client p95 may exceed the baseline's by at most
+//     -max-p95-pct percent.
+//   - shed rate: fresh shed rate may exceed the baseline's by at most
+//     -max-shed-pp percentage points.
+//   - errors: any transport/server errors in the fresh run fail outright.
+//
+// -stamp promotes the fresh run to the baseline path instead of comparing —
+// refusing runs with sheds or errors, so a degraded run can never become
+// the bar the next change is measured against.
+//
+// Exit codes: 0 pass, 1 SLO regression (or refused stamp), 2 usage/IO.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sparta/internal/bench"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_4.json", "committed baseline report")
+		fresh     = flag.String("fresh", "", "fresh loadgen report to gate (required unless -stamp)")
+		maxP95Pct = flag.Float64("max-p95-pct", 50, "max allowed client p95 increase over baseline, percent")
+		maxShedPP = flag.Float64("max-shed-pp", 1, "max allowed shed-rate increase over baseline, percentage points")
+		stamp     = flag.Bool("stamp", false, "promote -fresh to -baseline instead of comparing")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "sptc-slo: -fresh is required")
+		os.Exit(2)
+	}
+
+	freshRep, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc-slo: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *stamp {
+		if reasons := stampRefusals(freshRep); len(reasons) > 0 {
+			fmt.Fprintf(os.Stderr, "sptc-slo: refusing to stamp %s as baseline:\n", *fresh)
+			for _, r := range reasons {
+				fmt.Fprintf(os.Stderr, "  - %s\n", r)
+			}
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(freshRep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sptc-slo: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baseline, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sptc-slo: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("stamped %s -> %s (p95 %.4fs, %d ok, shed rate %.2f%%)\n",
+			*fresh, *baseline, freshRep.Run.Client.P95, freshRep.Run.OK, 100*freshRep.Run.ShedRate)
+		return
+	}
+
+	baseRep, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sptc-slo: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := diff(baseRep, freshRep, *maxP95Pct, *maxShedPP)
+	fmt.Printf("baseline %s (commit %s): p95 %.4fs, shed %.2f%%\n",
+		*baseline, baseRep.Meta.Commit, baseRep.Run.Client.P95, 100*baseRep.Run.ShedRate)
+	fmt.Printf("fresh    %s (commit %s): p95 %.4fs, shed %.2f%%\n",
+		*fresh, freshRep.Meta.Commit, freshRep.Run.Client.P95, 100*freshRep.Run.ShedRate)
+	if len(regressions) == 0 {
+		fmt.Println("SLO gate: PASS")
+		return
+	}
+	fmt.Println("SLO gate: FAIL")
+	for _, r := range regressions {
+		fmt.Printf("  - %s\n", r)
+	}
+	os.Exit(1)
+}
+
+func load(path string) (*bench.LoadReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.LoadReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Meta.Bench != "loadgen" {
+		return nil, fmt.Errorf("%s: bench %q is not a loadgen report", path, rep.Meta.Bench)
+	}
+	return &rep, nil
+}
+
+// stampRefusals lists why a run is unfit to become the baseline: a baseline
+// recorded under shedding or errors would hide those same failures in every
+// later comparison.
+func stampRefusals(rep *bench.LoadReport) []string {
+	var out []string
+	r := rep.Run
+	if r.Errors > 0 {
+		out = append(out, fmt.Sprintf("run has %d errors", r.Errors))
+	}
+	if r.ShedRate > 0 || len(r.Shed) > 0 {
+		out = append(out, fmt.Sprintf("run shed %.2f%% of requests (%v)", 100*r.ShedRate, r.Shed))
+	}
+	if r.OK == 0 {
+		out = append(out, "run completed no requests")
+	}
+	if r.Client.P95 <= 0 {
+		out = append(out, "run has no client p95")
+	}
+	return out
+}
+
+// diff returns the list of violated gates (empty = pass).
+func diff(base, fresh *bench.LoadReport, maxP95Pct, maxShedPP float64) []string {
+	var out []string
+	b, f := base.Run, fresh.Run
+	if f.Errors > 0 {
+		out = append(out, fmt.Sprintf("fresh run has %d errors", f.Errors))
+	}
+	if f.OK == 0 {
+		out = append(out, "fresh run completed no requests")
+	}
+	if b.Client.P95 > 0 && f.Client.P95 > b.Client.P95*(1+maxP95Pct/100) {
+		out = append(out, fmt.Sprintf("client p95 regressed %.1f%% (%.4fs -> %.4fs, max +%.1f%%)",
+			100*(f.Client.P95/b.Client.P95-1), b.Client.P95, f.Client.P95, maxP95Pct))
+	}
+	if dp := 100 * (f.ShedRate - b.ShedRate); dp > maxShedPP {
+		out = append(out, fmt.Sprintf("shed rate rose %.2fpp (%.2f%% -> %.2f%%, max +%.2fpp)",
+			dp, 100*b.ShedRate, 100*f.ShedRate, maxShedPP))
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"sparta/internal/bench"
+)
+
+func goodRun() *bench.LoadReport {
+	return &bench.LoadReport{
+		Meta: bench.Meta{Bench: "loadgen", Commit: "abc"},
+		Run: bench.LoadRun{
+			TargetRPS: 30, Requests: 900, OK: 900,
+			AchievedRPS: 29.8,
+			Client:      bench.Quantiles{Count: 900, P50: 0.004, P95: 0.010, P99: 0.015},
+			Server:      bench.Quantiles{Count: 900, P50: 0.004, P95: 0.010, P99: 0.015},
+		},
+	}
+}
+
+// TestGatePassesOnItself: the committed-baseline self-comparison (the CI
+// sanity leg) must be clean.
+func TestGatePassesOnItself(t *testing.T) {
+	base := goodRun()
+	if regs := diff(base, base, 25, 1); len(regs) != 0 {
+		t.Fatalf("baseline vs itself: %v", regs)
+	}
+}
+
+// TestGateFailsOnInjectedP95Regression is the acceptance check: +50% p95
+// must trip a 25% gate, and stay within a 60% gate.
+func TestGateFailsOnInjectedP95Regression(t *testing.T) {
+	base, fresh := goodRun(), goodRun()
+	fresh.Run.Client.P95 *= 1.5
+	regs := diff(base, fresh, 25, 1)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly the p95 regression, got %v", regs)
+	}
+	if regs := diff(base, fresh, 60, 1); len(regs) != 0 {
+		t.Fatalf("+50%% within a 60%% gate should pass, got %v", regs)
+	}
+}
+
+// TestGateFailsOnShedIncrease: a shed-rate rise beyond the allowance fails
+// even with identical latency.
+func TestGateFailsOnShedIncrease(t *testing.T) {
+	base, fresh := goodRun(), goodRun()
+	fresh.Run.ShedRate = 0.05 // 5pp over a 0% baseline
+	fresh.Run.Shed = map[string]int{"inflight": 45}
+	if regs := diff(base, fresh, 25, 1); len(regs) != 1 {
+		t.Fatalf("want the shed regression, got %v", regs)
+	}
+	if regs := diff(base, fresh, 25, 10); len(regs) != 0 {
+		t.Fatalf("5pp within a 10pp allowance should pass, got %v", regs)
+	}
+}
+
+// TestGateFailsOnErrors: fresh errors fail regardless of thresholds.
+func TestGateFailsOnErrors(t *testing.T) {
+	base, fresh := goodRun(), goodRun()
+	fresh.Run.Errors = 3
+	if regs := diff(base, fresh, 1000, 1000); len(regs) == 0 {
+		t.Fatal("errors must fail the gate")
+	}
+}
+
+// TestStampRefusals: degraded runs can never become the baseline.
+func TestStampRefusals(t *testing.T) {
+	if rs := stampRefusals(goodRun()); len(rs) != 0 {
+		t.Fatalf("clean run refused: %v", rs)
+	}
+	shedders := goodRun()
+	shedders.Run.ShedRate = 0.01
+	if rs := stampRefusals(shedders); len(rs) == 0 {
+		t.Fatal("shedding run accepted as baseline")
+	}
+	errored := goodRun()
+	errored.Run.Errors = 1
+	if rs := stampRefusals(errored); len(rs) == 0 {
+		t.Fatal("errored run accepted as baseline")
+	}
+	empty := goodRun()
+	empty.Run.OK = 0
+	empty.Run.Client = bench.Quantiles{}
+	if rs := stampRefusals(empty); len(rs) == 0 {
+		t.Fatal("empty run accepted as baseline")
+	}
+}

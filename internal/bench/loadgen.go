@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared vocabulary of the load harness: the BENCH_4.json
+// schema that sptc-loadgen writes and sptc-slo diffs, plus a small
+// Prometheus text-exposition parser so the load generator can scrape the
+// server's histograms and cross-check quantiles without a query engine.
+
+// LoadReport is the BENCH_4.json document: the standard meta block plus one
+// run record. (The other duel files carry row arrays; a load run is a single
+// aggregate, so it is one object.)
+type LoadReport struct {
+	Meta Meta    `json:"meta"`
+	Run  LoadRun `json:"run"`
+}
+
+// LoadRun aggregates one open-loop run against sptc-serve.
+type LoadRun struct {
+	// Offered load and what was achieved.
+	TargetRPS   float64 `json:"target_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int     `json:"requests"`
+	OK          int     `json:"ok"`
+	Errors      int     `json:"errors"`
+	// Shed maps shed reason ("inflight", "memory") to request count;
+	// ShedRate is sheds over total requests.
+	Shed     map[string]int `json:"shed,omitempty"`
+	ShedRate float64        `json:"shed_rate"`
+	// AchievedRPS counts completed (OK) requests over the run wall.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Mix regime.
+	HotRatio  float64 `json:"hot_ratio"`
+	ColdPlans int     `json:"cold_plans"`
+	Inflight  int     `json:"max_inflight"`
+	// Client is measured at the generator; Server is scraped from /metrics
+	// (the delta of the run's bucket counts); AgreementPct is the relative
+	// client/server gap per quantile, the acceptance check's subject.
+	Client       Quantiles          `json:"client"`
+	Server       Quantiles          `json:"server"`
+	AgreementPct map[string]float64 `json:"agreement_pct,omitempty"`
+	// Plan-cache traffic over the run (from the engine counters).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Quantiles is one latency distribution summary in seconds.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_sec"`
+	P95   float64 `json:"p95_sec"`
+	P99   float64 `json:"p99_sec"`
+}
+
+// AgreementPct is the relative gap between a client and server quantile in
+// percent, on the larger of the two (symmetric, and defined when one side
+// is zero only if both are).
+func AgreementPct(client, server float64) float64 {
+	if client == server {
+		return 0
+	}
+	den := math.Max(math.Abs(client), math.Abs(server))
+	if den == 0 {
+		return 0
+	}
+	return 100 * math.Abs(client-server) / den
+}
+
+// LoadMeta assembles the meta block for a load run (the duel benches go
+// through Config.meta; the load harness has no generator Config).
+func LoadMeta(commit, dataset string, seed int64, rps float64) Meta {
+	if commit == "" {
+		commit = vcsRevision()
+	}
+	return Meta{
+		Bench:      "loadgen",
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      int(rps), // the load regime's scale knob is offered RPS
+		Seed:       seed,
+		Reps:       1,
+		Dataset:    dataset,
+	}
+}
+
+// ScrapedHist is one histogram family member lifted from a /metrics page:
+// cumulative counts per finite le bound plus the +Inf bucket, as exposed.
+type ScrapedHist struct {
+	Bounds []float64 // finite le bounds, ascending
+	Counts []uint64  // cumulative; len(Bounds)+1 with +Inf last
+	Sum    float64
+	Count  uint64
+}
+
+// Delta returns the per-bucket (non-cumulative) counts of s minus an earlier
+// scrape of the same family — the shape obs.QuantileFromBuckets consumes.
+// A nil prev means "since process start". Mismatched bucket layouts return
+// nil (the server was restarted or reconfigured mid-run).
+func (s *ScrapedHist) Delta(prev *ScrapedHist) []uint64 {
+	if s == nil {
+		return nil
+	}
+	cum := make([]uint64, len(s.Counts))
+	copy(cum, s.Counts)
+	if prev != nil {
+		if len(prev.Counts) != len(cum) {
+			return nil
+		}
+		for i := range cum {
+			if cum[i] < prev.Counts[i] {
+				return nil // counter reset
+			}
+			cum[i] -= prev.Counts[i]
+		}
+	}
+	// De-cumulate.
+	out := make([]uint64, len(cum))
+	var before uint64
+	for i, c := range cum {
+		if c < before {
+			return nil
+		}
+		out[i] = c - before
+		before = c
+	}
+	return out
+}
+
+// ParseHistogram extracts one histogram (name + fixed label selector,
+// ignoring the le label) from Prometheus text exposition. Returns nil when
+// the family is absent.
+func ParseHistogram(text, name string, labels map[string]string) *ScrapedHist {
+	type bucket struct {
+		le float64
+		n  uint64
+	}
+	var bs []bucket
+	h := &ScrapedHist{}
+	seen := false
+	for sc := bufio.NewScanner(strings.NewReader(text)); sc.Scan(); {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, lbls, val, ok := parseSample(line)
+		if !ok || !labelsMatch(lbls, labels) {
+			continue
+		}
+		switch metric {
+		case name + "_bucket":
+			le, err := parseLE(lbls["le"])
+			if err != nil {
+				continue
+			}
+			bs = append(bs, bucket{le, uint64(val)})
+			seen = true
+		case name + "_sum":
+			h.Sum = val
+			seen = true
+		case name + "_count":
+			h.Count = uint64(val)
+			seen = true
+		}
+	}
+	if !seen || len(bs) == 0 {
+		return nil
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	for _, b := range bs {
+		if math.IsInf(b.le, 1) {
+			h.Counts = append(h.Counts, b.n)
+			continue
+		}
+		h.Bounds = append(h.Bounds, b.le)
+		h.Counts = append(h.Counts, b.n)
+	}
+	if len(h.Counts) != len(h.Bounds)+1 {
+		return nil // no +Inf bucket: not a well-formed exposition
+	}
+	return h
+}
+
+// ParseCounters extracts every sample of one counter family, keyed by the
+// value of keyLabel (e.g. sptc_serve_shed_total keyed by "reason").
+func ParseCounters(text, name, keyLabel string) map[string]float64 {
+	out := map[string]float64{}
+	for sc := bufio.NewScanner(strings.NewReader(text)); sc.Scan(); {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, lbls, val, ok := parseSample(line)
+		if !ok || metric != name {
+			continue
+		}
+		out[lbls[keyLabel]] += val
+	}
+	return out
+}
+
+// parseSample splits one exposition line into name, labels, and value.
+func parseSample(line string) (name string, labels map[string]string, val float64, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	head := line[:sp]
+	labels = map[string]string{}
+	if i := strings.IndexByte(head, '{'); i >= 0 {
+		if !strings.HasSuffix(head, "}") {
+			return "", nil, 0, false
+		}
+		for _, pair := range splitLabelPairs(head[i+1 : len(head)-1]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				continue
+			}
+			k := pair[:eq]
+			lv, err := strconv.Unquote(pair[eq+1:])
+			if err != nil {
+				continue
+			}
+			labels[k] = lv
+		}
+		head = head[:i]
+	}
+	return head, labels, v, true
+}
+
+// splitLabelPairs splits `a="1",b="x,y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// labelsMatch reports whether got carries every want pair (extra labels,
+// like le, are fine).
+func labelsMatch(got, want map[string]string) bool {
+	for k, v := range want {
+		if got[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	if s == "" {
+		return 0, fmt.Errorf("missing le")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// VCSRevision exposes the build-info VCS stamp to front ends outside the
+// duel Config path (sptc-loadgen stamps its meta block with it).
+func VCSRevision() string { return vcsRevision() }

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sparta/internal/obs"
+)
+
+// TestParseHistogramRoundTrip feeds a real WritePrometheus exposition back
+// through the scrape parser: the recovered buckets must reproduce the
+// histogram's own quantile estimates exactly.
+func TestParseHistogramRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("sptc_serve_request_seconds", "t", obs.LatencyBuckets, "route", "contract")
+	other := reg.Histogram("sptc_serve_request_seconds", "t", obs.LatencyBuckets, "route", "tensors")
+	vals := []float64{0.0001, 0.0004, 0.001, 0.001, 0.002, 0.01, 0.05, 0.3, 2}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	other.Observe(42) // must not leak into the contract-route scrape
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := ParseHistogram(b.String(), "sptc_serve_request_seconds", map[string]string{"route": "contract"})
+	if sc == nil {
+		t.Fatal("histogram not found in exposition")
+	}
+	if sc.Count != uint64(len(vals)) {
+		t.Fatalf("scraped count = %d, want %d", sc.Count, len(vals))
+	}
+	if len(sc.Bounds) != len(obs.LatencyBuckets) {
+		t.Fatalf("scraped %d bounds, want %d", len(sc.Bounds), len(obs.LatencyBuckets))
+	}
+	delta := sc.Delta(nil)
+	if delta == nil {
+		t.Fatal("Delta(nil) failed")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := h.Quantile(q)
+		got := obs.QuantileFromBuckets(sc.Bounds, delta, q)
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Errorf("q=%g: scraped quantile %g != histogram quantile %g", q, got, want)
+		}
+	}
+}
+
+// TestScrapedHistDelta: the before/after diff isolates one run's counts and
+// rejects resets and layout changes.
+func TestScrapedHistDelta(t *testing.T) {
+	before := &ScrapedHist{Bounds: []float64{1, 2}, Counts: []uint64{1, 3, 4}}
+	after := &ScrapedHist{Bounds: []float64{1, 2}, Counts: []uint64{2, 6, 9}}
+	got := after.Delta(before)
+	want := []uint64{1, 2, 2} // cumulative deltas 1,3,5 de-cumulated
+	if len(got) != len(want) {
+		t.Fatalf("delta = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delta = %v, want %v", got, want)
+		}
+	}
+	if after.Delta(&ScrapedHist{Counts: []uint64{1}}) != nil {
+		t.Error("mismatched layouts should yield nil")
+	}
+	if before.Delta(after) != nil {
+		t.Error("counter reset (after < before) should yield nil")
+	}
+}
+
+// TestParseCounters covers labeled counter extraction.
+func TestParseCounters(t *testing.T) {
+	text := `# HELP sptc_serve_shed_total requests shed by reason
+# TYPE sptc_serve_shed_total counter
+sptc_serve_shed_total{reason="inflight"} 7
+sptc_serve_shed_total{reason="memory"} 2
+sptc_other_total{reason="inflight"} 99
+`
+	got := ParseCounters(text, "sptc_serve_shed_total", "reason")
+	if got["inflight"] != 7 || got["memory"] != 2 || len(got) != 2 {
+		t.Fatalf("ParseCounters = %v", got)
+	}
+}
+
+// TestAgreementPct pins the symmetric relative-gap definition.
+func TestAgreementPct(t *testing.T) {
+	if g := AgreementPct(1.0, 1.1); math.Abs(g-100*0.1/1.1) > 1e-9 {
+		t.Errorf("AgreementPct(1,1.1) = %g", g)
+	}
+	if g := AgreementPct(0, 0); g != 0 {
+		t.Errorf("AgreementPct(0,0) = %g", g)
+	}
+	if AgreementPct(2, 1) != AgreementPct(1, 2) {
+		t.Error("AgreementPct not symmetric")
+	}
+}

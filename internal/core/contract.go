@@ -136,6 +136,18 @@ func checkOptions(opt Options, nnzX, nnzY int) (*Report, error) {
 	}, nil
 }
 
+// traceTarget resolves where stage spans go: a request trace in ctx wins
+// over the bench-level Options.Tracer, putting the spans on the request's
+// private track so concurrent requests never interleave their span trees.
+// reqMode additionally suppresses per-worker chunk spans — worker tracks
+// are only meaningful for the single-run bench timeline.
+func traceTarget(ctx context.Context, opt Options) (tr *obs.Tracer, track int, reqMode bool) {
+	if rt := obs.ReqFrom(ctx); rt != nil {
+		return rt.Tracer(), rt.Track(), true
+	}
+	return opt.Tracer, 0, false
+}
+
 // contractMain runs stages ①–⑤ for the Zlocal-buffered algorithms. When
 // prep is non-nil the COO→HtY conversion is skipped entirely — the prepared
 // table is probed instead and the report is marked HtYReused (no "hty
@@ -146,8 +158,8 @@ func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, re
 	// ① Input processing -------------------------------------------------
 	// Spans pair with the stage timers; error paths leave a span un-ended,
 	// which the tracer simply never records (End is what appends events).
-	tr := opt.Tracer
-	spInput := tr.Start("input processing", 0)
+	tr, track, reqMode := traceTarget(ctx, opt)
+	spInput := tr.Start("input processing", track)
 	t0 := time.Now()
 	xw := p.x
 	if !opt.InPlace {
@@ -156,7 +168,7 @@ func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, re
 	if err := xw.Permute(p.permX); err != nil {
 		return nil, nil, err
 	}
-	spXSort := tr.Start("x sort", 0)
+	spXSort := tr.Start("x sort", track)
 	rep.XSort = xw.SortWith(threads, coo.SortAuto)
 	spXSort.End()
 	ptrFX, err := xw.SubPtr(p.nfx)
@@ -205,9 +217,12 @@ func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, re
 	// own heuristic (the single source of truth for chunking). -----------
 	ws := makeWorkers(threads, p, opt)
 	nf := rep.NF
-	spCompute := tr.Start("compute", 0)
+	spCompute := tr.Start("compute", track)
 	cerr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
-		sp := tr.Start("subtensor chunk", tid+1)
+		var sp obs.Span
+		if !reqMode {
+			sp = tr.Start("subtensor chunk", tid+1)
+		}
 		w := ws[tid]
 		for f := lo; f < hi; f++ {
 			switch opt.Algorithm {
@@ -241,7 +256,7 @@ func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, re
 		return nil, nil, err
 	}
 	fused := !opt.UnfusedWriteback
-	spGather := tr.Start("writeback gather", 0)
+	spGather := tr.Start("writeback gather", track)
 	t0 = time.Now()
 	var z *coo.Tensor
 	if fused {
@@ -268,7 +283,7 @@ func contractMain(ctx context.Context, p *plan, prep *PreparedY, opt Options, re
 	// only on the unfused path. The residual per-run sort time is reported
 	// separately as rep.SubsortWall, charged to StageWrite where it ran.
 	if !opt.SkipOutputSort && !fused {
-		spSort := tr.Start("output sort", 0)
+		spSort := tr.Start("output sort", track)
 		t0 = time.Now()
 		z.Sort(threads)
 		rep.StageWall[StageSort] = time.Since(t0)
@@ -300,7 +315,8 @@ func (e errBadKernel) Error() string {
 // claims); the other builds are checkpointed by contractMain around the
 // call.
 func buildYTable(ctx context.Context, p *plan, opt Options, threads int, rep *Report) (hashtab.YTable, error) {
-	sp := opt.Tracer.Start("hty build", 0)
+	tr, track, _ := traceTarget(ctx, opt)
+	sp := tr.Start("hty build", track)
 	defer sp.End()
 	t0 := time.Now()
 	var hty hashtab.YTable

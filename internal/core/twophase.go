@@ -6,6 +6,7 @@ import (
 
 	"sparta/internal/coo"
 	"sparta/internal/invariant"
+	"sparta/internal/obs"
 	"sparta/internal/parallel"
 )
 
@@ -29,10 +30,10 @@ import (
 // parallel phases checkpoint ctx between chunk claims.
 func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*coo.Tensor, error) {
 	threads := rep.Threads
-	tr := opt.Tracer
+	tr, track, reqMode := traceTarget(ctx, opt)
 
 	// ① Input processing — identical to Sparta's.
-	spInput := tr.Start("input processing", 0)
+	spInput := tr.Start("input processing", track)
 	t0 := time.Now()
 	xw := p.x
 	if !opt.InPlace {
@@ -41,7 +42,7 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 	if err := xw.Permute(p.permX); err != nil {
 		return nil, err
 	}
-	spXSort := tr.Start("x sort", 0)
+	spXSort := tr.Start("x sort", track)
 	rep.XSort = xw.SortWith(threads, coo.SortAuto)
 	spXSort.End()
 	ptrFX, err := xw.SubPtr(p.nfx)
@@ -67,7 +68,7 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 	// --- Symbolic phase: count exact output non-zeros per sub-tensor ----
 	// The symbolic accumulators follow the kernel selector like the
 	// numeric ones (makeWorkers); symWorkers reuses that switch.
-	spSym := tr.Start("symbolic phase", 0)
+	spSym := tr.Start("symbolic phase", track)
 	t0 = time.Now()
 	counts := make([]int, nf)
 	symWorkers := makeWorkers(threads, p, Options{
@@ -75,7 +76,10 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 		Metrics: opt.Metrics,
 	})
 	symErr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
-		sp := tr.Start("symbolic chunk", tid+1)
+		var sp obs.Span
+		if !reqMode {
+			sp = tr.Start("symbolic chunk", tid+1)
+		}
 		defer sp.End()
 		w := symWorkers[tid]
 		for f := lo; f < hi; f++ {
@@ -125,9 +129,12 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 		Algorithm: AlgSparta, Kernel: opt.Kernel, HtACapHint: opt.HtACapHint,
 		Metrics: opt.Metrics,
 	})
-	spNum := tr.Start("numeric phase", 0)
+	spNum := tr.Start("numeric phase", track)
 	numErr := parallel.ForChunkedWorkCtx(ctx, threads, nf, 0, int64(xw.NNZ()), func(tid, lo, hi int) {
-		sp := tr.Start("subtensor chunk", tid+1)
+		var sp obs.Span
+		if !reqMode {
+			sp = tr.Start("subtensor chunk", tid+1)
+		}
 		defer sp.End()
 		w := ws[tid]
 		buf := make([]uint32, p.nfy)
@@ -239,7 +246,7 @@ func contractTwoPhase(ctx context.Context, p *plan, opt Options, rep *Report) (*
 
 	// ⑤ Output sorting.
 	if !opt.SkipOutputSort {
-		spSort := tr.Start("output sort", 0)
+		spSort := tr.Start("output sort", track)
 		t0 = time.Now()
 		z.Sort(threads)
 		rep.StageWall[StageSort] = time.Since(t0)

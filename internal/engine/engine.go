@@ -105,26 +105,46 @@ func keyFor(fp Fingerprint, cmodesY []int, opt core.Options) planKey {
 // what makes the cache safe against mutated tensors — but it is far cheaper
 // than the build it saves (no allocation, no hashing-table construction).
 func (e *Engine) Prepare(y *coo.Tensor, cmodesY []int, opt core.Options) (*core.PreparedY, bool, error) {
+	return e.PrepareCtx(context.Background(), y, cmodesY, opt)
+}
+
+// PrepareCtx is Prepare with request-trace awareness: when ctx carries an
+// obs.ReqTrace (serving requests do), the fingerprint+lookup and the HtY
+// build become "cache lookup" / "hty prepare" phases of the request's span
+// tree, and the plan fingerprint plus hit/miss outcome are tagged on it —
+// that is how a slow POST /contract is attributed to a plan-cache miss
+// rather than queue wait.
+func (e *Engine) PrepareCtx(ctx context.Context, y *coo.Tensor, cmodesY []int, opt core.Options) (*core.PreparedY, bool, error) {
+	rt := obs.ReqFrom(ctx)
 	if e.cache == nil {
+		sp := rt.StartPhase("hty prepare")
 		pr, err := core.PrepareY(y, cmodesY, opt)
+		sp.End()
 		return pr, false, err
 	}
+	sp := rt.StartPhase("cache lookup")
 	fp := FingerprintTensor(y, opt.Threads)
 	k := keyFor(fp, cmodesY, opt)
 
 	e.mu.Lock()
-	if pr, ok := e.cache.get(k); ok {
-		e.mu.Unlock()
+	pr, ok := e.cache.get(k)
+	e.mu.Unlock()
+	sp.End()
+	rt.SetTag("plan_fp", fp.String())
+	if ok {
+		rt.SetTag("plan_cache", "hit")
 		e.hits.Add(1)
 		e.publishCache("hit")
 		return pr, true, nil
 	}
-	e.mu.Unlock()
+	rt.SetTag("plan_cache", "miss")
 
 	// Miss: build outside the lock, then insert. If another goroutine
 	// prepared the same key meanwhile, its table wins and ours is dropped —
 	// both are equivalent, and converging on one keeps reuse exact.
+	spB := rt.StartPhase("hty prepare")
 	pr, err := core.PrepareY(y, cmodesY, opt)
+	spB.End()
 	if err != nil {
 		return nil, false, err
 	}
@@ -146,7 +166,7 @@ func (e *Engine) Contract(ctx context.Context, x, y *coo.Tensor, cmodesX, cmodes
 	if opt.Algorithm != core.AlgSparta {
 		return core.ContractCtx(ctx, x, y, cmodesX, cmodesY, opt)
 	}
-	pr, hit, err := e.Prepare(y, cmodesY, opt)
+	pr, hit, err := e.PrepareCtx(ctx, y, cmodesY, opt)
 	if err != nil {
 		return nil, nil, err
 	}

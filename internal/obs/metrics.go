@@ -395,6 +395,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.Labels, s.Count); err != nil {
 				return err
 			}
+			// Merged-shard quantile estimates, exported as a sibling series
+			// (summary-style quantile label) so dashboards and the loadgen
+			// cross-check read pXX without reconstructing bucket math.
+			if s.Count > 0 {
+				for _, eq := range exportQuantiles {
+					if _, err := fmt.Fprintf(w, "%s_quantile%s %s\n",
+						s.Name, withLabel(s.Labels, "quantile", eq.label),
+						formatFloat(s.Quantile(eq.q))); err != nil {
+						return err
+					}
+				}
+			}
 		default:
 			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, s.Labels, formatFloat(s.Value)); err != nil {
 				return err

@@ -103,6 +103,9 @@ sptc_hty_probe_length_bucket{le="4"} 4
 sptc_hty_probe_length_bucket{le="+Inf"} 5
 sptc_hty_probe_length_sum 16
 sptc_hty_probe_length_count 5
+sptc_hty_probe_length_quantile{quantile="0.5"} 1.5
+sptc_hty_probe_length_quantile{quantile="0.95"} 4
+sptc_hty_probe_length_quantile{quantile="0.99"} 4
 # HELP sptc_output_nnz non-zeros of the last Z
 # TYPE sptc_output_nnz gauge
 sptc_output_nnz 1234

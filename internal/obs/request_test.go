@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"regexp"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("malformed request id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestRequestSpanTree: a finished request yields its span tree on a private
+// track, the request span carrying request_id/route/tags as args.
+func TestRequestSpanTree(t *testing.T) {
+	tr := NewTracer()
+	rt := StartRequest(tr, "contract", "deadbeef00000001")
+
+	ps := rt.StartPhase("queue wait")
+	ps.End()
+	ps = rt.StartPhase("cache lookup")
+	ps.End()
+	rt.SetTag("plan_fp", "abc123")
+	rt.SetTag("hty_reused", "true")
+	rt.AddPhase("stage_input", 5*time.Millisecond)
+	if d := rt.Finish(); d <= 0 {
+		t.Errorf("Finish returned %v", d)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Tid  int32           `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+
+	var reqTid int32 = -1
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "B" {
+			continue
+		}
+		names[ev.Name] = true
+		if ev.Name == "request" {
+			reqTid = ev.Tid
+			var args map[string]string
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				t.Fatalf("request span args: %v (%s)", err, ev.Args)
+			}
+			for k, want := range map[string]string{
+				"request_id": "deadbeef00000001",
+				"route":      "contract",
+				"plan_fp":    "abc123",
+				"hty_reused": "true",
+			} {
+				if args[k] != want {
+					t.Errorf("request span arg %s = %q, want %q", k, args[k], want)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"request", "queue wait", "cache lookup"} {
+		if !names[want] {
+			t.Errorf("span %q missing from trace", want)
+		}
+	}
+	if reqTid < 1024 {
+		t.Errorf("request track %d not from the NewTID range", reqTid)
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev.Name != "request" && ev.Ph == "B" && ev.Tid != reqTid {
+			t.Errorf("span %q on track %d, want request track %d", ev.Name, ev.Tid, reqTid)
+		}
+	}
+
+	// Phase walls include both measured and injected phases, in order.
+	var names2 []string
+	for _, p := range rt.Phases() {
+		names2 = append(names2, p.Name)
+	}
+	want := []string{"queue wait", "cache lookup", "stage_input"}
+	if len(names2) != len(want) {
+		t.Fatalf("phases %v, want %v", names2, want)
+	}
+	for i := range want {
+		if names2[i] != want[i] {
+			t.Fatalf("phases %v, want %v", names2, want)
+		}
+	}
+	if tags := rt.Tags(); tags["plan_fp"] != "abc123" {
+		t.Errorf("Tags() = %v", tags)
+	}
+}
+
+// TestRequestNilSafety: nil tracer still records phases/tags; nil ReqTrace
+// no-ops everywhere (the two disabled configurations).
+func TestRequestNilSafety(t *testing.T) {
+	rt := StartRequest(nil, "contract", "id1")
+	ps := rt.StartPhase("queue wait")
+	ps.End()
+	rt.SetTag("k", "v")
+	rt.Finish()
+	if got := rt.Phases(); len(got) != 1 || got[0].Name != "queue wait" {
+		t.Errorf("nil-tracer phases = %v", got)
+	}
+	if rt.Tracer() != nil || rt.Track() != 0 {
+		t.Error("nil-tracer ReqTrace leaked a tracer or track")
+	}
+
+	var nilRT *ReqTrace
+	nilRT.StartPhase("x").End()
+	nilRT.SetTag("a", "b")
+	nilRT.AddPhase("y", time.Second)
+	nilRT.Finish()
+	if nilRT.Phases() != nil || nilRT.Tags() != nil || nilRT.ID() != "" {
+		t.Error("nil ReqTrace recorded something")
+	}
+}
+
+func TestWithReqRoundTrip(t *testing.T) {
+	if got := ReqFrom(context.Background()); got != nil {
+		t.Errorf("empty context yielded %v", got)
+	}
+	rt := StartRequest(nil, "r", "id")
+	ctx := WithReq(context.Background(), rt)
+	if got := ReqFrom(ctx); got != rt {
+		t.Errorf("round trip lost the ReqTrace: %v", got)
+	}
+	if ctx2 := WithReq(context.Background(), nil); ReqFrom(ctx2) != nil {
+		t.Error("nil ReqTrace stored in context")
+	}
+}
+
+// TestTracerLimit: the event cap drops (and counts) spans instead of growing
+// the buffer — a serving process must bound its trace memory.
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(4) // room for two spans
+	for i := 0; i < 5; i++ {
+		tr.Start("s", 0).End()
+	}
+	if n := tr.Len(); n != 4 {
+		t.Errorf("buffered %d events, want 4", n)
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Errorf("dropped %d, want 3", d)
+	}
+	tr.SetLimit(0)
+	tr.Start("s", 0).End()
+	if n := tr.Len(); n != 6 {
+		t.Errorf("after lifting the cap: %d events, want 6", n)
+	}
+	// Distinct requests land on distinct tracks.
+	a, b := StartRequest(tr, "r", "a"), StartRequest(tr, "r", "b")
+	if a.Track() == b.Track() {
+		t.Errorf("two requests share track %d", a.Track())
+	}
+}

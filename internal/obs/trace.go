@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,8 +20,16 @@ import (
 // timestamp, which is the layout chrome://tracing and Perfetto expect.
 type Tracer struct {
 	epoch time.Time
-	mu    sync.Mutex
-	evs   []event
+	// nextTID hands out request-scoped tracks (NewTID); bench-style callers
+	// pick tids 0..threads by hand and never touch it.
+	nextTID atomic.Int32
+	// limit bounds the buffered event count (0 = unbounded); dropped counts
+	// events refused at the cap — a serving process must not grow its trace
+	// buffer forever under sustained traffic.
+	limit   atomic.Int64
+	dropped atomic.Uint64
+	mu      sync.Mutex
+	evs     []event
 }
 
 // event is one trace-event record; ts is nanoseconds since the tracer epoch
@@ -30,12 +39,14 @@ type event struct {
 	ph   byte // 'B', 'E', 'C'
 	tid  int32
 	ts   int64
-	args []counterArg // 'C' events only
+	args []arg // 'C' events, and 'B' events of tagged spans
 }
 
-type counterArg struct {
+// arg is one args-object entry; v marshals with encoding/json (float64 for
+// counter series, string for request tags).
+type arg struct {
 	k string
-	v float64
+	v interface{}
 }
 
 // NewTracer starts a tracer; all span timestamps are relative to this call.
@@ -71,11 +82,50 @@ func (s Span) End() {
 	if end < s.start {
 		end = s.start
 	}
-	s.t.mu.Lock()
-	s.t.evs = append(s.t.evs,
-		event{name: s.name, ph: 'B', tid: s.tid, ts: s.start},
-		event{name: s.name, ph: 'E', tid: s.tid, ts: end})
-	s.t.mu.Unlock()
+	s.t.appendSpan(s.name, s.tid, s.start, end, nil)
+}
+
+// appendSpan records one completed interval as its matched B/E pair, with
+// optional args attached to the B event. Honors the event cap.
+func (t *Tracer) appendSpan(name string, tid int32, start, end int64, args []arg) {
+	t.mu.Lock()
+	if lim := t.limit.Load(); lim > 0 && int64(len(t.evs))+2 > lim {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
+	t.evs = append(t.evs,
+		event{name: name, ph: 'B', tid: tid, ts: start, args: args},
+		event{name: name, ph: 'E', tid: tid, ts: end})
+	t.mu.Unlock()
+}
+
+// NewTID allocates a fresh logical track, disjoint from every other NewTID
+// track. Request-scoped traces use one track per request so concurrent
+// requests never interleave their span trees; the first allocation is track
+// 1024, far above any hand-picked bench worker tid.
+func (t *Tracer) NewTID() int {
+	if t == nil {
+		return 0
+	}
+	return 1023 + int(t.nextTID.Add(1))
+}
+
+// SetLimit caps the buffered event count (0 restores unbounded buffering).
+// Once the cap is reached new spans and counter samples are dropped and
+// counted (Dropped) — the trace truncates instead of the process growing.
+func (t *Tracer) SetLimit(n int) {
+	if t != nil {
+		t.limit.Store(int64(n))
+	}
+}
+
+// Dropped reports how many events were refused at the SetLimit cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // CounterAt records a counter sample ("C" event) at a fixed offset from the
@@ -85,12 +135,17 @@ func (t *Tracer) CounterAt(name string, at time.Duration, series map[string]floa
 	if t == nil {
 		return
 	}
-	args := make([]counterArg, 0, len(series))
+	args := make([]arg, 0, len(series))
 	for k, v := range series {
-		args = append(args, counterArg{k, v})
+		args = append(args, arg{k, v})
 	}
 	sort.Slice(args, func(i, j int) bool { return args[i].k < args[j].k })
 	t.mu.Lock()
+	if lim := t.limit.Load(); lim > 0 && int64(len(t.evs))+1 > lim {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return
+	}
 	t.evs = append(t.evs, event{name: name, ph: 'C', ts: int64(at), args: args})
 	t.mu.Unlock()
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# loadgen_run.sh — build sptc-serve + sptc-loadgen, run an open-loop load
+# test against a private server instance, and leave the BENCH_4-schema
+# report at $OUT. The server is started fresh (so scrape deltas describe
+# exactly this run), drained on exit, and its access log + Chrome trace are
+# kept next to the report for debugging.
+#
+# Knobs (environment):
+#   PORT      listen port                (default 18080)
+#   RPS       offered request rate       (default 5; stay under the box's
+#             capacity or the run sheds and cannot stamp a baseline)
+#   DURATION  run length                 (default 30s)
+#   SCALE     non-zeros per tensor      (default 8000: ~100ms/contraction
+#             on one core, so latency dwarfs HTTP overhead and the
+#             client/server quantile cross-check is tight)
+#   HOT       hot-plan ratio             (default 0.9)
+#   COLD      cold plan count            (default 4)
+#   OUT       report path                (default loadgen_fresh.json)
+#   CHECK     "1" adds -check            (default 1)
+#   EXTRA     extra sptc-loadgen flags   (default empty)
+set -euo pipefail
+
+PORT="${PORT:-18080}"
+RPS="${RPS:-5}"
+DURATION="${DURATION:-30s}"
+SCALE="${SCALE:-8000}"
+HOT="${HOT:-0.9}"
+COLD="${COLD:-4}"
+OUT="${OUT:-loadgen_fresh.json}"
+CHECK="${CHECK:-1}"
+EXTRA="${EXTRA:-}"
+
+cd "$(dirname "$0")/.."
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/sptc-serve" ./cmd/sptc-serve
+go build -o "$BIN/sptc-loadgen" ./cmd/sptc-loadgen
+
+ART="$(dirname "$OUT")"
+"$BIN/sptc-serve" -addr ":$PORT" \
+  -trace "$ART/loadgen_trace.json" \
+  -access-log "$ART/loadgen_access.log" &
+SERVE_PID=$!
+# Drain on exit so the trace file is flushed even when loadgen fails.
+trap 'kill -TERM "$SERVE_PID" 2>/dev/null; wait "$SERVE_PID" 2>/dev/null; rm -rf "$BIN"' EXIT
+
+for _ in $(seq 1 100); do
+  if curl -sf "http://localhost:$PORT/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+CHECK_FLAG=""
+[ "$CHECK" = "1" ] && CHECK_FLAG="-check"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || true)"
+
+# shellcheck disable=SC2086
+"$BIN/sptc-loadgen" -addr "http://localhost:$PORT" \
+  -rps "$RPS" -duration "$DURATION" -scale "$SCALE" \
+  -hot-ratio "$HOT" -cold-plans "$COLD" \
+  -commit "$COMMIT" -json "$OUT" $CHECK_FLAG $EXTRA
