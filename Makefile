@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint perf-baseline verify bench bench-json loadgen slo-check slo-baseline clean
+.PHONY: build test lint perf-baseline verify bench bench-json bench-grid loadgen slo-check slo-baseline clean
 
 build:
 	$(GO) build ./...
@@ -52,15 +52,22 @@ bench:
 # bench-json regenerates the committed BENCH_*.json files at the repo root
 # (scale 20000 so every cell's work dwarfs scheduling noise): BENCH_1.json is
 # the hash-kernel duel, BENCH_2.json the sort/fused-writeback duel,
-# BENCH_3.json the contraction-order planner duel. Every file carries the
-# shared "meta" block (commit, go version, GOMAXPROCS, scale, seed, reps,
-# dataset); the commit is stamped here because `go run` builds carry no VCS
-# revision.
+# BENCH_3.json the contraction-order planner duel, BENCH_5.json the
+# out-of-core streaming duel (BENCH_4.json is the loadgen SLO baseline,
+# stamped by slo-baseline). Every file carries the shared "meta" block
+# (commit, go version, GOMAXPROCS, scale, seed, reps, dataset); the commit
+# is stamped here because `go run` builds carry no VCS revision.
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
 bench-json:
 	$(GO) run ./cmd/sptc-bench -exp kernels -scale 20000 -commit "$(COMMIT)" -json BENCH_1.json
 	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -commit "$(COMMIT)" -json BENCH_2.json
 	$(GO) run ./cmd/sptc-bench -exp planner -scale 20000 -commit "$(COMMIT)" -json BENCH_3.json
+	$(GO) run ./cmd/sptc-bench -exp ooc -scale 20000 -commit "$(COMMIT)" -json BENCH_5.json
+
+# bench-grid sweeps the kernels/sort/planner/ooc duels across scales and
+# thread counts with warmup and a summary table (scripts/paper/run_all.sh).
+bench-grid:
+	./scripts/paper/run_all.sh
 
 # loadgen runs one open-loop load test against a private sptc-serve
 # instance (scripts/loadgen_run.sh) and writes loadgen_fresh.json plus the

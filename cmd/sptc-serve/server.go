@@ -331,6 +331,12 @@ type contractReply struct {
 	CacheHits   uint64   `json:"cache_hits"`
 	CacheMisses uint64   `json:"cache_misses"`
 	WallNS      int64    `json:"wall_ns"`
+	// ExecutionTier reports which path ran: "dram" (in-memory fast path) or
+	// "streamed" (windowed out-of-core degrade tier). Clients watching for
+	// capacity pressure alert on the streamed fraction instead of on 503s.
+	ExecutionTier string `json:"execution_tier,omitempty"`
+	// Windows is the streamed window count (0 on the dram tier).
+	Windows int `json:"windows,omitempty"`
 }
 
 func parseAlgorithm(name string) (core.Algorithm, error) {
@@ -466,23 +472,38 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 
 	// Gate 2: memory. Only the Sparta algorithm goes through the prepared
 	// path, so only it has the footprint model; the baselines run ungated
-	// (they exist for A/B comparison, not production serving).
+	// (they exist for A/B comparison, not production serving). Oversized
+	// requests no longer shed outright: when the prepared table fits but the
+	// full working set does not, the windowed out-of-core driver runs
+	// instead, and only a table that cannot fit at all is refused.
 	spA := rt.StartPhase("admission")
-	release, shedObj, aerr := s.admit(ctx, req, x, y, opt)
+	release, tier, res, pr, ein, aerr := s.admit(ctx, req, x, y, opt)
 	spA.End()
 	if aerr != nil {
 		return aerr
 	}
-	if shedObj != "" {
+	defer release()
+	rt.SetTag("execution_tier", tier.String())
+	s.reg.Counter("sptc_serve_tier_total", "contract requests by execution tier",
+		"tier", tier.String()).Inc()
+	if tier == engine.TierShed {
 		s.shed(w, r, "shed_memory",
-			fmt.Sprintf("estimated footprint exceeds DRAM budget (%s does not fit)", shedObj))
+			"estimated footprint exceeds DRAM budget (prepared table ht_Y alone does not fit)")
 		return nil
 	}
-	defer release()
 
 	start := time.Now()
 	spC := rt.StartPhase("contract")
-	z, rep, err := s.eng.Einsum(ctx, req.Spec, x, y, opt)
+	var (
+		z   *coo.Tensor
+		rep *core.Report
+		err error
+	)
+	if tier == engine.TierStreamed {
+		z, rep, err = s.contractStreamed(ctx, x, pr, ein, res, opt)
+	} else {
+		z, rep, err = s.eng.Einsum(ctx, req.Spec, x, y, opt)
+	}
 	spC.End()
 	switch {
 	case err == nil:
@@ -509,56 +530,96 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 	rt.AddPhase("stage_sort", rep.StageWall[core.StageSort])
 	rt.SetTag("hty_reused", strconv.FormatBool(rep.HtYReused))
 	rt.SetTag("nnz_z", strconv.Itoa(z.NNZ()))
+	if rep.Streamed {
+		rt.SetTag("windows", strconv.Itoa(rep.Windows))
+	}
 
 	st := s.eng.Stats()
 	s.countReq(r, "contract", "ok")
 	s.reg.Histogram("sptc_serve_contract_seconds", "contraction wall time",
 		[]float64{0.001, 0.01, 0.1, 1, 10}).Observe(time.Since(start).Seconds())
 	writeJSON(w, http.StatusOK, contractReply{
-		RequestID:   rt.ID(),
-		Spec:        req.Spec,
-		OutDims:     z.Dims,
-		NNZ:         z.NNZ(),
-		Fingerprint: engine.FingerprintTensor(z, threads).String(),
-		HtYReused:   rep.HtYReused,
-		CacheHits:   st.Hits,
-		CacheMisses: st.Misses,
-		WallNS:      time.Since(start).Nanoseconds(),
+		RequestID:     rt.ID(),
+		Spec:          req.Spec,
+		OutDims:       z.Dims,
+		NNZ:           z.NNZ(),
+		Fingerprint:   engine.FingerprintTensor(z, threads).String(),
+		HtYReused:     rep.HtYReused,
+		CacheHits:     st.Hits,
+		CacheMisses:   st.Misses,
+		WallNS:        time.Since(start).Nanoseconds(),
+		ExecutionTier: tier.String(),
+		Windows:       rep.Windows,
 	})
 	return nil
 }
 
-// admit runs the DRAM admission gate. It returns a release func (always
-// non-nil) and, when the request must be shed, the name of the first object
-// that did not fit. Requests outside the prepared path, or with admission
-// disabled, are admitted with a no-op release.
-func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tensor, opt core.Options) (release func(), shedObj string, err error) {
+// contractStreamed runs the degrade tier: X (already resident) is permuted
+// to contraction order, sorted, and walked window by window against the
+// cached prepared table, so only one window's accumulators and staging are
+// ever hot — the request runs inside the budget instead of being shed. A
+// spec that permutes the output must re-sort Z afterwards, which
+// materializes heap copies of every column anyway, so Z spilling is only
+// honored for identity-output specs.
+func (s *server) contractStreamed(ctx context.Context, x *coo.Tensor, pr *core.PreparedY, ein *einsum.Plan, res hetmem.Residency, opt core.Options) (*coo.Tensor, *core.Report, error) {
+	xs, err := core.NewTensorStream(x, ein.CmodesX, res.WindowNNZ, opt.Threads, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	z, rep, err := core.ContractStream(ctx, xs, pr, core.StreamOptions{
+		Options: opt,
+		SpillZ:  res.SpillZ && ein.IdentityOut,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ein.IdentityOut {
+		if err := z.Permute(ein.OutPerm); err != nil {
+			return nil, nil, err
+		}
+		z.Sort(opt.Threads)
+	}
+	return z, rep, nil
+}
+
+// admit runs the DRAM admission gate and assigns the execution tier. It
+// returns a release func (always non-nil) plus, on the prepared path, the
+// residency plan, the cached prepared Y, and the parsed spec the streamed
+// tier needs. Requests outside the prepared path, or with admission
+// disabled, get TierDRAM with a no-op release.
+func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tensor, opt core.Options) (release func(), tier engine.Tier, res hetmem.Residency, pr *core.PreparedY, ein *einsum.Plan, err error) {
 	release = func() {}
+	tier = engine.TierDRAM
 	if s.adm.DRAMBudget == 0 || opt.Algorithm != core.AlgSparta {
-		return release, "", nil
+		return release, tier, res, nil, nil, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return release, "", err
+		return release, tier, res, nil, nil, err
 	}
 	// Resolve the contract modes so the Y side can be prepared (cached
 	// across requests) and its exact resident size used in the estimate.
-	pr, _, err := s.prepareFor(ctx, req.Spec, x, y, opt)
+	pr, ein, err = s.prepareFor(ctx, req.Spec, x, y, opt)
 	if err != nil {
-		return release, "", err
+		return release, tier, res, nil, nil, err
 	}
 	fp := engine.EstimateFootprint(x.NNZ(), pr)
 	s.admMu.Lock()
-	ok, frac := s.adm.Admit(fp, opt.Threads, s.admitted)
-	if !ok {
-		s.admMu.Unlock()
-		for _, o := range []hetmem.Object{hetmem.ObjHtY, hetmem.ObjHtA, hetmem.ObjZLocal} {
-			if frac[o] < 1 {
-				return release, o.String(), nil
-			}
-		}
-		return release, "footprint", nil
+	tier, res = s.adm.Plan(fp, opt.Threads, x.NNZ(), s.admitted)
+	// A fully contracted X has one sub-tensor spanning everything and cannot
+	// be windowed; it either fits whole or must still be shed.
+	if tier == engine.TierStreamed && len(ein.CmodesX) >= x.Order() {
+		tier = engine.TierShed
 	}
+	if tier == engine.TierShed {
+		s.admMu.Unlock()
+		return release, tier, res, pr, ein, nil
+	}
+	// Streamed requests account only their windowed resident demand — the
+	// point of the degrade tier is that concurrent work can still fit.
 	total := fp.Total(opt.Threads)
+	if tier == engine.TierStreamed {
+		total = fp.WindowedTotal(opt.Threads, res.WindowNNZ, x.NNZ())
+	}
 	s.admitted += total
 	s.admMu.Unlock()
 	release = func() {
@@ -566,19 +627,24 @@ func (s *server) admit(ctx context.Context, req contractRequest, x, y *coo.Tenso
 		s.admitted -= total
 		s.admMu.Unlock()
 	}
-	return release, "", nil
+	return release, tier, res, pr, ein, nil
 }
 
 // prepareFor parses the spec far enough to prepare the Y side through the
 // engine's plan cache (the later Einsum call re-resolves the same cached
-// plan — the fingerprint lookup is the cheap part).
-func (s *server) prepareFor(ctx context.Context, spec string, x, y *coo.Tensor, opt core.Options) (*core.PreparedY, bool, error) {
+// plan — the fingerprint lookup is the cheap part). The parsed plan rides
+// along so the streamed tier can reuse it.
+func (s *server) prepareFor(ctx context.Context, spec string, x, y *coo.Tensor, opt core.Options) (*core.PreparedY, *einsum.Plan, error) {
 	ein, err := einsum.Parse(spec)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
 	if err := ein.CheckRanks(spec, x.Order(), y.Order()); err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
-	return s.eng.PrepareCtx(ctx, y, ein.CmodesY, opt)
+	pr, _, err := s.eng.PrepareCtx(ctx, y, ein.CmodesY, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, ein, nil
 }

@@ -11,6 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"sparta/internal/core"
+	"sparta/internal/einsum"
+	"sparta/internal/engine"
 	"sparta/internal/gen"
 )
 
@@ -128,6 +131,64 @@ func TestShedTinyBudget(t *testing.T) {
 	}
 	if n := s.reg.Counter("sptc_serve_requests_total", "", "route", "contract", "outcome", "shed_memory").Value(); n == 0 {
 		t.Error("shed_memory counter not incremented")
+	}
+}
+
+// streamedBudget picks a DRAM budget between the prepared table's size and
+// the full footprint of the demo contraction, so admission lands on the
+// streamed tier: HtY fits, the unwindowed working set does not.
+func streamedBudget(t *testing.T, s *server, spec string) uint64 {
+	t.Helper()
+	ein, err := einsum.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{Algorithm: core.AlgSparta, Threads: s.threads}
+	pr, _, err := s.eng.Prepare(s.tensors["demoB"], ein.CmodesY, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := engine.EstimateFootprint(s.tensors["demoA"].NNZ(), pr)
+	return fp.HtY + (fp.Total(s.threads)-fp.HtY)/8
+}
+
+// TestStreamedTier: a budget that holds the prepared table but not the full
+// working set degrades to the windowed out-of-core driver instead of
+// shedding — 200, tagged "streamed", and bit-identical to the in-memory
+// result.
+func TestStreamedTier(t *testing.T) {
+	_, ts0 := testServer(t, serverConfig{})
+	for _, spec := range []string{"abc,cde->abde", "abc,cde->deab"} {
+		req := contractRequest{X: "demoA", Y: "demoB", Spec: spec}
+		resp, base, bad := postContract(t, ts0.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: baseline status %d (%s)", spec, resp.StatusCode, bad.Error)
+		}
+		if base.ExecutionTier != "dram" {
+			t.Errorf("%s: unbudgeted request ran tier %q, want dram", spec, base.ExecutionTier)
+		}
+
+		probe := newServer(serverConfig{})
+		probe.loadDemo()
+		s, ts := testServer(t, serverConfig{DRAMBudget: streamedBudget(t, probe, spec)})
+		resp, got, bad := postContract(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: streamed tier shed instead of degrading: status %d (%s)",
+				spec, resp.StatusCode, bad.Error)
+		}
+		if got.ExecutionTier != "streamed" {
+			t.Errorf("%s: execution_tier = %q, want streamed", spec, got.ExecutionTier)
+		}
+		if got.Fingerprint != base.Fingerprint || got.NNZ != base.NNZ {
+			t.Errorf("%s: streamed output differs: dram %s/%d, streamed %s/%d",
+				spec, base.Fingerprint, base.NNZ, got.Fingerprint, got.NNZ)
+		}
+		if got.Windows < 1 {
+			t.Errorf("%s: streamed reply reports %d windows", spec, got.Windows)
+		}
+		if n := s.reg.Counter("sptc_serve_tier_total", "", "tier", "streamed").Value(); n == 0 {
+			t.Error("streamed tier counter not incremented")
+		}
 	}
 }
 

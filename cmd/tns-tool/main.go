@@ -1,13 +1,16 @@
 // Command tns-tool inspects and transforms sparse tensor files in the
-// FROSTT .tns text format or the repository's .bin binary format (formats
-// are selected by file extension).
+// FROSTT .tns text format or the repository's binary formats (selected by
+// file extension): .bin is the v1 stream layout, .sptn the v2 mmap-ready
+// layout with 8-byte-aligned sections and a sorted-window index — the
+// format the out-of-core streaming driver consumes zero-copy.
 //
 //	tns-tool stat     x.tns                # shape, nnz, density, per-mode stats
 //	tns-tool describe x.tns                # + occupancy, skew, nnz-per-index histograms
 //	tns-tool head    x.tns -n 20           # first non-zeros
 //	tns-tool sort    x.tns -o sorted.tns   # lexicographic sort
 //	tns-tool permute x.tns -perm 2,0,1 -o p.tns
-//	tns-tool convert x.tns -o x.bin        # .tns <-> .bin
+//	tns-tool convert x.tns -o x.bin        # .tns <-> .bin <-> .sptn
+//	tns-tool sort    x.tns -o x.sptn       # one step to a windowed v2 file
 //	tns-tool diff    a.tns b.tns -tol 1e-9 # compare (sorted) tensors
 package main
 
@@ -56,17 +59,25 @@ func run(args []string) error {
 	}
 }
 
-// load reads a tensor choosing the format by extension.
+// load reads a tensor choosing the format by extension. LoadBin accepts
+// both binary versions, so .sptn and .bin read through the same path.
 func load(path string) (*sparta.Tensor, error) {
-	if filepath.Ext(path) == ".bin" {
+	switch filepath.Ext(path) {
+	case ".bin", ".sptn":
 		return sparta.LoadBin(path)
 	}
 	return sparta.LoadTNS(path)
 }
 
-// save writes a tensor choosing the format by extension.
+// save writes a tensor choosing the format by extension: .sptn writes the
+// v2 layout (with the sorted-window index when the tensor is sorted — so
+// `tns-tool sort x.tns -o x.sptn` produces a stream-ready file in one
+// step), .bin the v1 layout.
 func save(t *sparta.Tensor, path string) error {
-	if filepath.Ext(path) == ".bin" {
+	switch filepath.Ext(path) {
+	case ".sptn":
+		return t.SaveBinV2(path)
+	case ".bin":
 		return t.SaveBin(path)
 	}
 	return t.SaveTNS(path)

@@ -1,0 +1,128 @@
+package coo
+
+import "fmt"
+
+// MergeRuns merges sorted runs into one sorted tensor. The streamed
+// contraction's runs are disjoint and ascending (windows never split a
+// free-prefix sub-tensor), so the merge degenerates to a concatenation —
+// O(total) copies, no comparisons beyond the boundary check, and the
+// paper's stage ⑤ stays dead. Overlapping runs (anything a future producer
+// might emit) fall back to a k-way loser-select merge that sums values of
+// equal coordinates.
+func MergeRuns(dims []uint64, runs []*Tensor) (*Tensor, error) {
+	total := 0
+	live := runs[:0:0]
+	for _, r := range runs {
+		if r == nil || r.NNZ() == 0 {
+			continue
+		}
+		if r.Order() != len(dims) {
+			return nil, fmt.Errorf("coo: MergeRuns: run order %d, want %d", r.Order(), len(dims))
+		}
+		live = append(live, r)
+		total += r.NNZ()
+	}
+	z, err := New(dims, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(live) == 0 {
+		return z, nil
+	}
+	if len(live) == 1 {
+		// Adopt the single run's storage under the canonical dims.
+		z.Inds = live[0].Inds
+		z.Vals = live[0].Vals
+		return z, nil
+	}
+	if disjointAscending(live) {
+		for m := range z.Inds {
+			col := make([]uint32, 0, total)
+			for _, r := range live {
+				col = append(col, r.Inds[m]...)
+			}
+			z.Inds[m] = col
+		}
+		vals := make([]float64, 0, total)
+		for _, r := range live {
+			vals = append(vals, r.Vals...)
+		}
+		z.Vals = vals
+		return z, nil
+	}
+	return kwayMerge(z, live, total), nil
+}
+
+// disjointAscending reports whether each run's last coordinate precedes the
+// next run's first — the concatenation fast path's precondition.
+func disjointAscending(runs []*Tensor) bool {
+	order := runs[0].Order()
+	a := make([]uint32, order)
+	b := make([]uint32, order)
+	for i := 1; i < len(runs); i++ {
+		runs[i-1].Index(runs[i-1].NNZ()-1, a)
+		runs[i].Index(0, b)
+		if !tupleLess(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// kwayMerge is the defensive slow path: a linear loser-select over the run
+// cursors (k is small — one cursor per window), summing duplicates.
+func kwayMerge(z *Tensor, runs []*Tensor, total int) *Tensor {
+	for m := range z.Inds {
+		z.Inds[m] = make([]uint32, 0, total)
+	}
+	z.Vals = make([]float64, 0, total)
+	cur := make([]int, len(runs))
+	tup := make([]uint32, z.Order())
+	for {
+		best := -1
+		for r, c := range cur {
+			if c >= runs[r].NNZ() {
+				continue
+			}
+			if best < 0 || runLess(runs[r], c, runs[best], cur[best]) {
+				best = r
+			}
+		}
+		if best < 0 {
+			return z
+		}
+		runs[best].Index(cur[best], tup)
+		v := runs[best].Vals[cur[best]]
+		cur[best]++
+		n := z.NNZ()
+		if n > 0 && sameTuple(z, n-1, tup) {
+			z.Vals[n-1] += v
+			continue
+		}
+		for m := range z.Inds {
+			z.Inds[m] = append(z.Inds[m], tup[m])
+		}
+		z.Vals = append(z.Vals, v)
+	}
+}
+
+// runLess compares element i of run a with element j of run b.
+func runLess(a *Tensor, i int, b *Tensor, j int) bool {
+	for m := range a.Inds {
+		x, y := a.Inds[m][i], b.Inds[m][j]
+		if x != y {
+			return x < y
+		}
+	}
+	return false
+}
+
+// sameTuple reports whether z's element i equals the tuple.
+func sameTuple(z *Tensor, i int, tup []uint32) bool {
+	for m := range z.Inds {
+		if z.Inds[m][i] != tup[m] {
+			return false
+		}
+	}
+	return true
+}

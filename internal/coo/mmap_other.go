@@ -1,0 +1,16 @@
+//go:build !unix
+
+package coo
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("coo: mmap not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

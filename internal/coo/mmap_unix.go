@@ -1,0 +1,23 @@
+//go:build unix
+
+package coo
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path at build time; non-unix platforms
+// fall back to a heap load with identical semantics.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared (the file is never
+// written through the mapping; PROT_READ makes accidental writes fault).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

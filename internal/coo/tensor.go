@@ -22,6 +22,12 @@ type Tensor struct {
 	Dims []uint64
 	Inds [][]uint32
 	Vals []float64
+
+	// backing pins the storage owner of a zero-copy view (the mmap handle
+	// of a Mapped tensor) so its finalizer cannot unmap pages this tensor
+	// still references. Nil for ordinary heap tensors; Clone never copies
+	// it (clones own their storage).
+	backing any
 }
 
 // New allocates an empty tensor with the given mode sizes and capacity hint.

@@ -29,6 +29,15 @@ func (z *zlocalBuf) bytes() uint64 {
 	return uint64(cap(z.subs))*8 + uint64(cap(z.lns))*8 + uint64(cap(z.vals))*8
 }
 
+// reset empties the buffer keeping its capacity; the streaming driver calls
+// it between windows so one window's worth of Zlocal is the steady-state
+// footprint regardless of how many windows the contraction spans.
+func (z *zlocalBuf) reset() {
+	z.subs = z.subs[:0]
+	z.lns = z.lns[:0]
+	z.vals = z.vals[:0]
+}
+
 // match is one X non-zero with a resolved Y item list (Sparta path).
 type match struct {
 	items []hashtab.YItem

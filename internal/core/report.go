@@ -187,6 +187,14 @@ type Report struct {
 	AccumHits   uint64 // accumulator add-into-existing
 	AccumMiss   uint64 // accumulator fresh inserts
 
+	// Streamed is true when the contraction ran the out-of-core windowed
+	// driver (ContractStream) instead of materializing X's working set at
+	// once; Windows is how many X windows it walked and SpilledZ whether
+	// the output was staged through a file-backed spool rather than heap.
+	Streamed bool
+	Windows  int
+	SpilledZ bool
+
 	// PlannedOrder is the contraction-order planner's subtree expression
 	// for this step ("(A×B)" over input names); empty when the chain ran
 	// in its written order.

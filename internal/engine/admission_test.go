@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"testing"
+
+	"sparta/internal/hetmem"
+)
+
+func TestPlanTiers(t *testing.T) {
+	f := Footprint{HtY: 1 << 20, HtAPerThread: 1 << 20, ZLocal: 1 << 20}
+	const nnzX = 1 << 20
+
+	// Admission disabled: always the fast path, no windowing.
+	tier, res := Admission{}.Plan(f, 2, nnzX, 0)
+	if tier != TierDRAM || res.WindowNNZ != nnzX {
+		t.Fatalf("no budget: tier %v res %+v", tier, res)
+	}
+
+	// Everything fits: DRAM tier.
+	adm := Admission{DRAMBudget: 1 << 30}
+	tier, res = adm.Plan(f, 2, nnzX, 0)
+	if tier != TierDRAM || !res.HtYResident || res.SpillZ {
+		t.Fatalf("generous budget: tier %v res %+v", tier, res)
+	}
+
+	// HtY fits but the working set does not: streamed, with a window
+	// strictly smaller than X and at least the format's floor.
+	adm = Admission{DRAMBudget: f.HtY + f.HtY/2}
+	tier, res = adm.Plan(f, 2, nnzX, 0)
+	if tier != TierStreamed {
+		t.Fatalf("mid budget: tier %v", tier)
+	}
+	if !res.HtYResident {
+		t.Fatal("streamed tier requires a resident HtY")
+	}
+	if res.WindowNNZ >= nnzX || res.WindowNNZ < hetmem.MinWindowNNZ {
+		t.Fatalf("streamed window %d outside [%d, %d)", res.WindowNNZ, hetmem.MinWindowNNZ, nnzX)
+	}
+	// The windowed demand must undercut the full-footprint demand.
+	if w, full := f.WindowedTotal(2, res.WindowNNZ, nnzX), f.Total(2); w >= full {
+		t.Fatalf("windowed total %d not below full total %d", w, full)
+	}
+
+	// Even the table alone is too big: shed.
+	adm = Admission{DRAMBudget: f.HtY / 2}
+	tier, res = adm.Plan(f, 2, nnzX, 0)
+	if tier != TierShed || res.HtYResident {
+		t.Fatalf("tiny budget: tier %v res %+v", tier, res)
+	}
+
+	// In-use bytes shrink the effective budget: a generous budget nearly
+	// consumed by admitted work sheds too.
+	adm = Admission{DRAMBudget: 1 << 30}
+	tier, _ = adm.Plan(f, 2, nnzX, (1<<30)-f.HtY/2)
+	if tier != TierShed {
+		t.Fatalf("budget consumed by in-use work: tier %v", tier)
+	}
+}
+
+func TestWindowedTotal(t *testing.T) {
+	f := Footprint{HtY: 1000, HtAPerThread: 100, ZLocal: 200}
+	// A window spanning all of X is the full footprint.
+	if got, want := f.WindowedTotal(4, 1<<20, 1<<20), f.Total(4); got != want {
+		t.Fatalf("full window: %d, want %d", got, want)
+	}
+	// Half the window halves the per-window demand but never HtY.
+	got := f.WindowedTotal(4, 1<<19, 1<<20)
+	want := f.HtY + (f.HtAPerThread*4+f.ZLocal)/2
+	if got != want {
+		t.Fatalf("half window: %d, want %d", got, want)
+	}
+	// Thread defaulting matches Total.
+	if f.WindowedTotal(0, 1<<20, 1<<20) != f.Total(0) {
+		t.Fatal("thread defaulting differs between Total and WindowedTotal")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{
+		TierDRAM:     "dram",
+		TierStreamed: "streamed",
+		TierShed:     "shed",
+		Tier(9):      "Tier(9)",
+	} {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier %d: %q, want %q", int(tier), got, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package hetmem
+
+import "testing"
+
+// mkSizes lays out an object-size vector in priority order.
+func mkSizes(hty, hta, zlocal, z uint64) [NumObjects]uint64 {
+	var s [NumObjects]uint64
+	s[ObjHtY] = hty
+	s[ObjHtA] = hta
+	s[ObjZLocal] = zlocal
+	s[ObjZ] = z
+	return s
+}
+
+func TestPlanResidencyUnbudgeted(t *testing.T) {
+	r := PlanResidency(mkSizes(100, 100, 100, 100), 5000, 0)
+	if !r.HtYResident || r.SpillZ {
+		t.Fatalf("zero budget must mean everything resident: %+v", r)
+	}
+	if r.WindowNNZ != 5000 {
+		t.Fatalf("zero budget must not window: WindowNNZ = %d", r.WindowNNZ)
+	}
+}
+
+func TestPlanResidencyEverythingFits(t *testing.T) {
+	r := PlanResidency(mkSizes(100, 100, 100, 100), 5000, 1000)
+	if !r.HtYResident || r.SpillZ {
+		t.Fatalf("generous budget: %+v", r)
+	}
+	if r.WindowNNZ != 5000 {
+		t.Fatalf("fitting working set must not window: WindowNNZ = %d", r.WindowNNZ)
+	}
+}
+
+func TestPlanResidencyHtYDoesNotFit(t *testing.T) {
+	r := PlanResidency(mkSizes(1000, 100, 100, 100), 5000, 500)
+	if r.HtYResident {
+		t.Fatal("HtY larger than the budget reported resident")
+	}
+	if r.Frac[ObjHtY] >= 1 {
+		t.Fatalf("Frac[HtY] = %v, want < 1", r.Frac[ObjHtY])
+	}
+}
+
+func TestPlanResidencyWindowScaling(t *testing.T) {
+	// HtY fits whole; 1/10 of the working set fits in what remains, so the
+	// window should be ~nnzX/10. The planner cannot fit Z at all, so the
+	// output spills.
+	nnzX := 1 << 20
+	r := PlanResidency(mkSizes(100, 1000, 1000, 500), nnzX, 300)
+	if !r.HtYResident {
+		t.Fatal("HtY fits the budget but reported non-resident")
+	}
+	if !r.SpillZ {
+		t.Fatal("Z cannot fit; SpillZ should be set")
+	}
+	want := nnzX / 10
+	if r.WindowNNZ < want*9/10 || r.WindowNNZ > want*11/10 {
+		t.Fatalf("WindowNNZ = %d, want ~%d", r.WindowNNZ, want)
+	}
+	if r.WindowNNZ < MinWindowNNZ || r.WindowNNZ > nnzX {
+		t.Fatalf("WindowNNZ = %d outside [%d, %d]", r.WindowNNZ, MinWindowNNZ, nnzX)
+	}
+}
+
+func TestPlanResidencyWindowClamps(t *testing.T) {
+	// A budget with almost nothing left after HtY would plan a microscopic
+	// window; the file format's chunk granularity floors it.
+	r := PlanResidency(mkSizes(100, 1<<30, 1<<30, 0), 1<<20, 101)
+	if !r.HtYResident {
+		t.Fatal("HtY fits")
+	}
+	if r.WindowNNZ != MinWindowNNZ {
+		t.Fatalf("WindowNNZ = %d, want the %d floor", r.WindowNNZ, MinWindowNNZ)
+	}
+	// And the window never exceeds the tensor: a tiny X with a mid-size
+	// budget plans at most nnzX.
+	r = PlanResidency(mkSizes(100, 1000, 1000, 0), 64, 600)
+	if r.WindowNNZ > 64 {
+		t.Fatalf("WindowNNZ = %d exceeds nnzX", r.WindowNNZ)
+	}
+	// nnzX = 0 degenerates to the unwindowed plan.
+	r = PlanResidency(mkSizes(100, 1000, 1000, 0), 0, 200)
+	if r.WindowNNZ != 0 {
+		t.Fatalf("nnzX=0: WindowNNZ = %d", r.WindowNNZ)
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# run_all.sh — the paper-style grid runner: sweep the sptc-bench duel
+# experiments (kernels, sort, planner, ooc) across scales and thread counts
+# with a warmup pass per cell, collect every duel's JSON rows under an
+# artifact directory, and print one summary table at the end.
+#
+# Each cell shells out to `sptc-bench -exp <e> -scale <s> -t <t> -json ...`;
+# the duels themselves take min-of-3 reps internally, so the grid adds the
+# axes (scale, threads, experiment), not the noise rejection. A warmup run
+# (discarded) precedes each cell so first-touch page faults and the
+# generator's tensor cache don't land in the first measured rep.
+#
+# Knobs (environment):
+#   EXPS     comma-separated experiments   (default kernels,sort,planner,ooc)
+#   SCALES   space-separated scales        (default "4000 20000")
+#   THREADS  space-separated thread counts (default "0" = all cores)
+#   REPEATS  measured runs per cell        (default 1; the duels already
+#            keep min-of-3 walls internally)
+#   WARMUP   warmup runs per cell          (default 1)
+#   OUTDIR   artifact directory            (default bench_grid)
+set -euo pipefail
+
+EXPS="${EXPS:-kernels,sort,planner,ooc}"
+SCALES="${SCALES:-4000 20000}"
+THREADS="${THREADS:-0}"
+REPEATS="${REPEATS:-1}"
+WARMUP="${WARMUP:-1}"
+OUTDIR="${OUTDIR:-bench_grid}"
+
+cd "$(dirname "$0")/../.."
+BIN="$(mktemp -d)"
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/sptc-bench" ./cmd/sptc-bench
+
+mkdir -p "$OUTDIR"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || true)"
+SUMMARY="$OUTDIR/summary.tsv"
+printf 'experiment\tscale\tthreads\trun\twall_s\tjson\n' > "$SUMMARY"
+
+IFS=',' read -r -a EXP_LIST <<< "$EXPS"
+for exp in "${EXP_LIST[@]}"; do
+  for scale in $SCALES; do
+    for t in $THREADS; do
+      cell="${exp}_s${scale}_t${t}"
+      for _ in $(seq 1 "$WARMUP"); do
+        "$BIN/sptc-bench" -exp "$exp" -scale "$scale" -t "$t" >/dev/null
+      done
+      for run in $(seq 1 "$REPEATS"); do
+        json="$OUTDIR/${cell}_r${run}.json"
+        log="$OUTDIR/${cell}_r${run}.log"
+        start="$(date +%s.%N)"
+        "$BIN/sptc-bench" -exp "$exp" -scale "$scale" -t "$t" \
+          -commit "$COMMIT" -json "$json" | tee "$log"
+        end="$(date +%s.%N)"
+        wall="$(awk -v a="$start" -v b="$end" 'BEGIN{printf "%.2f", b-a}')"
+        printf '%s\t%s\t%s\t%s\t%s\t%s\n' \
+          "$exp" "$scale" "$t" "$run" "$wall" "$json" >> "$SUMMARY"
+      done
+    done
+  done
+done
+
+echo
+echo "grid complete — artifacts in $OUTDIR/"
+if command -v column >/dev/null 2>&1; then
+  column -t -s "$(printf '\t')" "$SUMMARY"
+else
+  cat "$SUMMARY"
+fi

@@ -54,11 +54,49 @@ func LoadTNS(path string) (*Tensor, error) { return coo.LoadTNS(path) }
 // ReadTNS parses a .tns stream.
 func ReadTNS(r io.Reader) (*Tensor, error) { return coo.ReadTNS(r) }
 
-// LoadBin reads a tensor from the repository's fast binary format.
+// LoadBin reads a tensor from the repository's fast binary format (either
+// version; see Tensor.SaveBin for v1 and Tensor.SaveBinV2 for the
+// mmap-ready v2 layout).
 func LoadBin(path string) (*Tensor, error) { return coo.LoadBin(path) }
 
 // ReadBin parses a binary tensor stream.
 func ReadBin(r io.Reader) (*Tensor, error) { return coo.ReadBin(r) }
+
+// Mapped is a read-only tensor view backed by an mmap'd v2 binary file:
+// opening is O(1), pages fault in as they are touched, and the kernel can
+// evict cold pages under memory pressure — the substrate of the out-of-core
+// streaming tier.
+type Mapped = coo.Mapped
+
+// OpenMapped opens a binary tensor file as a Mapped view (zero-copy for v2
+// files on little-endian unix hosts; a heap fallback elsewhere).
+func OpenMapped(path string) (*Mapped, error) { return coo.OpenMapped(path) }
+
+// XStream yields sorted X windows for ContractStream; see Mapped.Stream and
+// NewTensorStream for the two producers.
+type XStream = core.XStream
+
+// StreamOptions configures ContractStream (Options plus the Z spill
+// controls).
+type StreamOptions = core.StreamOptions
+
+// NewTensorStream adapts an in-memory X to an XStream: permute to
+// contraction order, sort, and cut into sub-tensor-aligned windows.
+func NewTensorStream(x *Tensor, cmodesX []int, windowNNZ, threads int, inPlace bool) (XStream, error) {
+	return core.NewTensorStream(x, cmodesX, windowNNZ, threads, inPlace)
+}
+
+// ContractStream computes Z walking X window by window against a prepared
+// Y, keeping only one window's working set hot; output is bitwise identical
+// to the in-memory Sparta path.
+func ContractStream(ctx context.Context, xs XStream, pr *PreparedY, opt StreamOptions) (*Tensor, *Report, error) {
+	return core.ContractStream(ctx, xs, pr, opt)
+}
+
+// MergeRuns merges sorted, pairwise-disjoint output runs into one tensor
+// (concatenation when the runs are already ascending — the streamed-driver
+// case).
+func MergeRuns(dims []uint64, runs []*Tensor) (*Tensor, error) { return coo.MergeRuns(dims, runs) }
 
 // Algorithm selects the SpTC variant.
 type Algorithm = core.Algorithm
