@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint perf-baseline verify bench bench-json bench-grid loadgen slo-check slo-baseline clean
+.PHONY: build test lint perf-baseline verify bench bench-json bench-grid grid-stamp grid-check loadgen slo-check slo-baseline clean
 
 build:
 	$(GO) build ./...
@@ -42,8 +42,8 @@ verify:
 	$(GO) run ./cmd/sptc-lint ./...
 	$(GO) run ./cmd/sptc-lint -perf
 	$(GO) test -race -short ./...
-	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs
-	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs
+	$(GO) test -race ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs ./internal/dist
+	$(GO) test -race -tags assert ./internal/hashtab ./internal/core ./internal/engine ./internal/plan ./internal/sortx ./internal/obs ./internal/dist
 
 # bench prints the chained-vs-flat hash-kernel duel without writing JSON.
 bench:
@@ -53,8 +53,8 @@ bench:
 # (scale 20000 so every cell's work dwarfs scheduling noise): BENCH_1.json is
 # the hash-kernel duel, BENCH_2.json the sort/fused-writeback duel,
 # BENCH_3.json the contraction-order planner duel, BENCH_5.json the
-# out-of-core streaming duel (BENCH_4.json is the loadgen SLO baseline,
-# stamped by slo-baseline). Every file carries the shared "meta" block
+# out-of-core streaming duel, and BENCH_6.json the sharded scatter/gather
+# duel (BENCH_4.json is the loadgen SLO baseline, stamped by slo-baseline). Every file carries the shared "meta" block
 # (commit, go version, GOMAXPROCS, scale, seed, reps, dataset); the commit
 # is stamped here because `go run` builds carry no VCS revision.
 COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
@@ -63,11 +63,28 @@ bench-json:
 	$(GO) run ./cmd/sptc-bench -exp sort -scale 20000 -commit "$(COMMIT)" -json BENCH_2.json
 	$(GO) run ./cmd/sptc-bench -exp planner -scale 20000 -commit "$(COMMIT)" -json BENCH_3.json
 	$(GO) run ./cmd/sptc-bench -exp ooc -scale 20000 -commit "$(COMMIT)" -json BENCH_5.json
+	$(GO) run ./cmd/sptc-bench -exp shard -scale 20000 -commit "$(COMMIT)" -json BENCH_6.json
 
-# bench-grid sweeps the kernels/sort/planner/ooc duels across scales and
-# thread counts with warmup and a summary table (scripts/paper/run_all.sh).
+# bench-grid sweeps the kernels/sort/planner/ooc/shard duels across scales
+# and thread counts with warmup and a summary table
+# (scripts/paper/run_all.sh). Errored cells emit ERR rows and fail the run.
 bench-grid:
 	./scripts/paper/run_all.sh
+
+# grid-check gates a fresh grid run against the committed per-cell
+# thresholds (lint/grid_thresholds.json): every duel's speedup/slowdown
+# ratios must stay within slack of the stamped values, and every
+# identical_output oracle must still hold. Machine-portable because only
+# ratios are gated, never absolute walls.
+GRID_DIR ?= bench_grid
+grid-check:
+	$(GO) run ./cmd/sptc-grid -check -dir "$(GRID_DIR)" -thresholds lint/grid_thresholds.json
+
+# grid-stamp re-stamps lint/grid_thresholds.json from the grid runs in
+# GRID_DIR (after an accepted perf change). Stamping refuses cells whose
+# identical_output oracle failed.
+grid-stamp:
+	$(GO) run ./cmd/sptc-grid -stamp -dir "$(GRID_DIR)" -thresholds lint/grid_thresholds.json
 
 # loadgen runs one open-loop load test against a private sptc-serve
 # instance (scripts/loadgen_run.sh) and writes loadgen_fresh.json plus the

@@ -62,6 +62,35 @@ func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Ten
 	if len(steps) == 0 {
 		return nil, fmt.Errorf("chain: no steps")
 	}
+	// One plan cache for the whole chain, sized to its step count — a chain
+	// never holds more distinct Y sides than steps.
+	eng := engine.New(engine.Config{CacheEntries: len(steps)})
+	return evalChain(ctx, eng, steps, inputs, opt)
+}
+
+// Contractor is the execution seam a chain (or a server) drives contractions
+// through: the caching engine and the sharded scatter/gather coordinator
+// (internal/dist) both satisfy it, so the same chain runs one-box or fanned
+// out across shards with bitwise-identical results.
+type Contractor interface {
+	Einsum(ctx context.Context, spec string, x, y *Tensor, opt Options) (*Tensor, *Report, error)
+}
+
+// EvalChainOn is EvalChainCtx running every step through the given executor
+// instead of a chain-local engine. The executor owns plan caching: a
+// dist.Coordinator, for example, keeps per-shard plan caches warm across
+// steps that share a Y side.
+func EvalChainOn(ctx context.Context, exec Contractor, steps []ChainStep, inputs map[string]*Tensor, opt Options) (*ChainResult, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("chain: nil executor")
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("chain: no steps")
+	}
+	return evalChain(ctx, exec, steps, inputs, opt)
+}
+
+func evalChain(ctx context.Context, exec Contractor, steps []ChainStep, inputs map[string]*Tensor, opt Options) (*ChainResult, error) {
 	var planRes *PlanResult
 	if opt.Planner == PlannerAuto {
 		// Planner failures fall back to the written order: a malformed
@@ -89,9 +118,6 @@ func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Ten
 		_, ok := inputs[name]
 		return ok
 	}
-	// One plan cache for the whole chain, sized to its step count — a chain
-	// never holds more distinct Y sides than steps.
-	eng := engine.New(engine.Config{CacheEntries: len(steps)})
 	for i, st := range steps {
 		if st.Out == "" {
 			return nil, fmt.Errorf("chain: step %d has no output name", i)
@@ -117,7 +143,7 @@ func EvalChainCtx(ctx context.Context, steps []ChainStep, inputs map[string]*Ten
 			stepOpt.InPlace = !isInput(st.X) && !isInput(st.Y) &&
 				lastUse[st.X] == i && lastUse[st.Y] == i && st.X != st.Y
 		}
-		z, rep, err := eng.Einsum(ctx, st.Spec, x, y, stepOpt)
+		z, rep, err := exec.Einsum(ctx, st.Spec, x, y, stepOpt)
 		if err != nil {
 			return nil, fmt.Errorf("chain: step %d (%s): %w", i, st.Spec, err)
 		}

@@ -64,6 +64,7 @@ var experiments = []struct {
 	{"planner", "contraction-order duel: written chains vs cost-based planner", runPlanner},
 	{"twophase", "symbolic+numeric two-phase SpTC vs Sparta's dynamic allocation", bench.TwoPhase},
 	{"ooc", "out-of-core duel: mmap-streamed windows vs in-memory driver", runOOC},
+	{"shard", "shard duel: scatter/gather across S workers vs one-shot", runShard},
 	{"formats", "storage formats: COO vs CSF vs HiCOO footprint and scan", bench.Formats},
 	{"reorder", "frequency index reordering: block density and Sparta time", bench.Reorder},
 }
@@ -80,7 +81,7 @@ func main() {
 		hold        = flag.Duration("hold", 0, "keep serving -metrics-addr this long after the experiments finish")
 	)
 	commit := flag.String("commit", "", "git revision recorded in -json metadata (default: the binary's stamped vcs.revision)")
-	flag.StringVar(&duelJSON, "json", "", "for -exp kernels/sort/planner/ooc: also write the duel rows to this JSON file")
+	flag.StringVar(&duelJSON, "json", "", "for -exp kernels/sort/planner/ooc/shard: also write the duel rows to this JSON file")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, DRAMFraction: *dramFrac, Commit: *commit}
@@ -195,6 +196,10 @@ func runPlanner(w io.Writer, cfg bench.Config) error {
 
 func runOOC(w io.Writer, cfg bench.Config) error {
 	return bench.OOCJSON(w, cfg, duelJSON)
+}
+
+func runShard(w io.Writer, cfg bench.Config) error {
+	return bench.ShardJSON(w, cfg, duelJSON)
 }
 
 func runTable3(w io.Writer, cfg bench.Config) error {

@@ -9,9 +9,10 @@
 //
 // Endpoints:
 //
-//	PUT  /tensors/{name}   upload a FROSTT .tns body; replaces any previous
+//	PUT  /tensors/{name}   upload a FROSTT .tns or binary SPTN body
 //	GET  /tensors/{name}   tensor metadata (order, dims, nnz, fingerprint)
 //	POST /contract         run one contraction (JSON request, JSON reply)
+//	POST /shard/contract   worker-side shard execution (binary SPTN in/out)
 //	GET  /healthz          liveness
 //	GET  /metrics          Prometheus text (plus /debug/pprof, /debug/vars)
 //	GET  /debug/trace      Chrome trace of request span trees (with -trace)
@@ -32,6 +33,13 @@
 //     placement priority, and requests whose objects would not fit entirely
 //     in DRAM are shed with 503 rather than thrashing. 0 disables the gate.
 //
+// Sharded mode (DESIGN.md §15): -local-shards N scatter/gathers every Sparta
+// contraction across N in-process executors; -shards lists remote worker
+// URLs (other sptc-serve instances) to fan out to instead. Either way the
+// merged output is bitwise identical to the one-shot contraction, and a
+// request whose shard exhausts its failover attempts is shed with a named
+// reason (shed_shards).
+//
 // -demo preloads two synthetic tensors (demoA, demoB; contractible with
 // "abc,cde->abde") so smoke tests need no uploads.
 package main
@@ -47,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +75,10 @@ func main() {
 		traceFile    = flag.String("trace", "", "record request span trees; write Chrome trace here on shutdown ('' = tracing off)")
 		traceLimit   = flag.Int("trace-limit", 1<<20, "max buffered trace events before new spans are dropped (0 = unbounded)")
 		accessLog    = flag.String("access-log", "", "structured access log destination: a path, 'stdout', or 'stderr' ('' = off)")
+		shardURLs    = flag.String("shards", "", "comma-separated remote worker base URLs for sharded execution ('' = off)")
+		localShards  = flag.Int("local-shards", 0, "shard Sparta contractions across N in-process executors (0 = off)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard attempt timeout in sharded mode (0 = request timeout only)")
+		shardRetries = flag.Int("shard-retries", 0, "executor attempts per shard including the primary (0 = primary plus one failover)")
 	)
 	flag.Parse()
 
@@ -102,6 +115,14 @@ func main() {
 		accessW = accessF
 	}
 
+	var urls []string
+	if *shardURLs != "" {
+		for _, u := range strings.Split(*shardURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
 	srv := newServer(serverConfig{
 		Threads:      *threads,
 		CacheEntries: *cacheEntries,
@@ -111,6 +132,10 @@ func main() {
 		QueueWait:    *queueWait,
 		Tracer:       tracer,
 		AccessLog:    accessW,
+		ShardURLs:    urls,
+		LocalShards:  *localShards,
+		ShardTimeout: *shardTimeout,
+		ShardRetries: *shardRetries,
 	})
 	if *demo {
 		srv.loadDemo()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 
 	"sparta/internal/coo"
 	"sparta/internal/core"
+	"sparta/internal/dist"
 	"sparta/internal/einsum"
 	"sparta/internal/engine"
 	"sparta/internal/gen"
@@ -38,6 +40,20 @@ type serverConfig struct {
 	// AccessLog, when non-nil, receives one JSON line per tensor/contract
 	// request (request ID, status, outcome, per-phase walls, tags).
 	AccessLog io.Writer
+
+	// ShardURLs lists remote worker base URLs; when non-empty, AlgSparta
+	// contractions run sharded across them (DESIGN.md §15). Mutually
+	// exclusive with LocalShards.
+	ShardURLs []string
+	// LocalShards, when >0, runs AlgSparta contractions sharded across this
+	// many in-process executors (each with a private plan cache) — the
+	// single-box scatter/gather mode.
+	LocalShards int
+	// ShardTimeout caps each shard attempt (0 = no per-attempt timeout).
+	ShardTimeout time.Duration
+	// ShardRetries is the executor attempt count per shard including the
+	// primary (0 = coordinator default: primary plus one failover).
+	ShardRetries int
 }
 
 // server is the HTTP front end: a tensor store, the caching engine, and the
@@ -63,6 +79,10 @@ type server struct {
 	// footprints currently running.
 	admMu    sync.Mutex
 	admitted uint64
+
+	// coord, when non-nil, executes AlgSparta contractions sharded across
+	// in-process or remote workers instead of through s.eng directly.
+	coord *dist.Coordinator
 
 	mu      sync.RWMutex
 	tensors map[string]*coo.Tensor
@@ -95,7 +115,41 @@ func newServer(cfg serverConfig) *server {
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 	}
+	if execs := shardExecutors(cfg, reg); len(execs) > 0 {
+		// Executor names are generated unique, so NewCoordinator cannot fail.
+		s.coord, _ = dist.NewCoordinator(dist.Config{
+			Executors:    execs,
+			ShardTimeout: cfg.ShardTimeout,
+			MaxAttempts:  cfg.ShardRetries,
+			Metrics:      reg,
+		})
+	}
 	return s
+}
+
+// shardExecutors builds the shard fleet from the config: remote HTTP workers
+// when URLs are given, otherwise LocalShards in-process executors. Each local
+// shard gets a private plan cache sized like the front engine's.
+func shardExecutors(cfg serverConfig, reg *obs.Registry) []dist.Executor {
+	if len(cfg.ShardURLs) > 0 {
+		execs := make([]dist.Executor, len(cfg.ShardURLs))
+		for i, u := range cfg.ShardURLs {
+			execs[i] = dist.NewHTTP(u, dist.HTTPConfig{})
+		}
+		return execs
+	}
+	if cfg.LocalShards <= 0 {
+		return nil
+	}
+	execs := make([]dist.Executor, cfg.LocalShards)
+	for i := range execs {
+		execs[i] = dist.NewLocal(fmt.Sprintf("local-%d", i), dist.LocalConfig{
+			CacheEntries: cfg.CacheEntries,
+			CacheBytes:   cfg.CacheBytes,
+			Metrics:      reg,
+		})
+	}
+	return execs
 }
 
 // loadDemo installs two synthetic contractible tensors (demoA: 40x30x50,
@@ -118,6 +172,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("PUT /tensors/{name}", s.instrumented("tensors", s.handlePutTensor))
 	mux.HandleFunc("GET /tensors/{name}", s.instrumented("tensors", s.handleGetTensor))
 	mux.HandleFunc("POST /contract", s.instrumented("contract", s.handleContract))
+	mux.HandleFunc("POST /shard/contract", s.instrumented("shard", s.handleShardContract))
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	return mux
 }
@@ -281,7 +336,16 @@ func (s *server) infoFor(name string, t *coo.Tensor) tensorInfo {
 
 func (s *server) handlePutTensor(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	t, err := coo.ReadTNS(r.Body)
+	// Sniff the body: binary SPTN uploads (the dist executor's Y replication
+	// path) start with the magic; everything else parses as FROSTT .tns text.
+	br := bufio.NewReader(r.Body)
+	var t *coo.Tensor
+	var err error
+	if head, _ := br.Peek(4); string(head) == "SPTN" {
+		t, err = coo.ReadBin(br)
+	} else {
+		t, err = coo.ReadTNS(br)
+	}
 	if err != nil {
 		s.countReq(r, "tensors", "bad_request")
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
@@ -337,6 +401,11 @@ type contractReply struct {
 	ExecutionTier string `json:"execution_tier,omitempty"`
 	// Windows is the streamed window count (0 on the dram tier).
 	Windows int `json:"windows,omitempty"`
+	// Shards / ShardRetries report the scatter/gather fan-out when the server
+	// runs in sharded mode (-local-shards / -shards): how many shard legs
+	// were dispatched and how many failover attempts they consumed.
+	Shards       int `json:"shards,omitempty"`
+	ShardRetries int `json:"shard_retries,omitempty"`
 }
 
 func parseAlgorithm(name string) (core.Algorithm, error) {
@@ -470,6 +539,15 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 	s.gInflight.Set(float64(s.inflightN.Add(1)))
 	defer func() { s.gInflight.Set(float64(s.inflightN.Add(-1))) }()
 
+	// Sharded mode: AlgSparta requests scatter/gather across the shard fleet
+	// instead of running on the front engine. The front's DRAM admission gate
+	// does not apply — each shard sees only its partition (~1/S of X) and
+	// local executors size their own caches; remote workers run their own
+	// gates and shed upstream.
+	if s.coord != nil && alg == core.AlgSparta {
+		return s.contractSharded(w, r, req, opt)
+	}
+
 	// Gate 2: memory. Only the Sparta algorithm goes through the prepared
 	// path, so only it has the footprint model; the baselines run ungated
 	// (they exist for A/B comparison, not production serving). Oversized
@@ -552,6 +630,168 @@ func (s *server) contract(w http.ResponseWriter, r *http.Request, req contractRe
 		Windows:       rep.Windows,
 	})
 	return nil
+}
+
+// contractSharded runs one request through the coordinator: partition X,
+// fan out to the shard executors, merge the sorted runs. Output is bitwise
+// identical to the one-shot path (internal/dist oracle suite). Called with
+// the inflight slot already held; returns an error only for bad requests.
+func (s *server) contractSharded(w http.ResponseWriter, r *http.Request, req contractRequest, opt core.Options) error {
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	rt := obs.ReqFrom(r.Context())
+	s.mu.RLock()
+	x, okX := s.tensors[req.X]
+	y, okY := s.tensors[req.Y]
+	s.mu.RUnlock()
+	if !okX {
+		return fmt.Errorf("no tensor %q", req.X)
+	}
+	if !okY {
+		return fmt.Errorf("no tensor %q", req.Y)
+	}
+
+	start := time.Now()
+	spC := rt.StartPhase("contract")
+	z, rep, err := s.coord.Einsum(obs.WithReq(ctx, rt), req.Spec, x, y, opt)
+	spC.End()
+	var se *dist.ShardError
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		s.countReq(r, "contract", "timeout")
+		writeJSON(w, http.StatusGatewayTimeout, errorReply{Error: err.Error()})
+		return nil
+	case errors.Is(err, context.Canceled):
+		s.countReq(r, "contract", "canceled")
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: err.Error()})
+		return nil
+	case errors.As(err, &se):
+		// Every failover attempt for some shard failed: the fleet cannot
+		// serve this request right now. Named shed reason, retryable 503.
+		s.shed(w, r, "shed_shards",
+			fmt.Sprintf("shard %s failed after %d attempts: %v", se.Shard, se.Attempts, se.Err))
+		return nil
+	default:
+		return err
+	}
+
+	rt.AddPhase("stage_input", rep.StageWall[core.StageInput])
+	rt.AddPhase("stage_search", rep.StageWall[core.StageSearch])
+	rt.AddPhase("stage_accum", rep.StageWall[core.StageAccum])
+	rt.AddPhase("stage_write", rep.StageWall[core.StageWrite])
+	rt.AddPhase("stage_sort", rep.StageWall[core.StageSort])
+	rt.SetTag("hty_reused", strconv.FormatBool(rep.HtYReused))
+	rt.SetTag("nnz_z", strconv.Itoa(z.NNZ()))
+
+	s.countReq(r, "contract", "ok")
+	s.reg.Histogram("sptc_serve_contract_seconds", "contraction wall time",
+		[]float64{0.001, 0.01, 0.1, 1, 10}).Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, contractReply{
+		RequestID:     rt.ID(),
+		Spec:          req.Spec,
+		OutDims:       z.Dims,
+		NNZ:           z.NNZ(),
+		Fingerprint:   engine.FingerprintTensor(z, opt.Threads).String(),
+		HtYReused:     rep.HtYReused,
+		WallNS:        time.Since(start).Nanoseconds(),
+		ExecutionTier: "sharded",
+		Windows:       rep.Windows,
+		Shards:        rep.Shards,
+		ShardRetries:  rep.ShardRetries,
+	})
+	return nil
+}
+
+// handleShardContract is the worker side of the coordinator→worker hop: the
+// shard's X partition arrives as a binary SPTN body, Y is referenced by the
+// name the executor registered it under, and the reply is binary Z plus the
+// full core report in the X-Sptc-Report header. The request ID arrives via
+// X-Request-ID, so this span tree joins the coordinator's request.
+func (s *server) handleShardContract(w http.ResponseWriter, r *http.Request) {
+	fail := func(status int, msg string) {
+		s.countReq(r, "shard", "bad_request")
+		writeJSON(w, status, errorReply{Error: msg})
+	}
+	q := r.URL.Query()
+	yName := q.Get("y")
+	s.mu.RLock()
+	y, okY := s.tensors[yName]
+	s.mu.RUnlock()
+	if !okY {
+		fail(http.StatusNotFound, fmt.Sprintf("no tensor %q", yName))
+		return
+	}
+	cx, err := dist.ParseModesCSV(q.Get("cx"))
+	if err != nil {
+		fail(http.StatusBadRequest, "cx: "+err.Error())
+		return
+	}
+	cy, err := dist.ParseModesCSV(q.Get("cy"))
+	if err != nil {
+		fail(http.StatusBadRequest, "cy: "+err.Error())
+		return
+	}
+	kernel, err := parseKernel(q.Get("kernel"))
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	threads := s.threads
+	if ts := q.Get("threads"); ts != "" {
+		if threads, err = strconv.Atoi(ts); err != nil || threads < 1 {
+			fail(http.StatusBadRequest, "bad threads value")
+			return
+		}
+	}
+	x, err := coo.ReadBin(r.Body)
+	if err != nil {
+		fail(http.StatusBadRequest, "decoding X: "+err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	rt := obs.ReqFrom(ctx)
+	rt.SetTag("y", yName)
+	opt := core.Options{
+		Algorithm: core.AlgSparta,
+		Kernel:    kernel,
+		Threads:   threads,
+		Metrics:   s.reg,
+		// The partition is request-local: let the kernel permute it in place.
+		InPlace: true,
+	}
+	pr, hit, err := s.eng.PrepareCtx(ctx, y, cy, opt)
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	z, rep, err := pr.Contract(ctx, x, cx, opt)
+	if err != nil {
+		s.countReq(r, "shard", "error")
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorReply{Error: err.Error()})
+		return
+	}
+	if hit {
+		rep.HtYReused = true
+		rep.HtYBuild = 0
+	}
+	rt.SetTag("nnz_z", strconv.Itoa(z.NNZ()))
+	s.countReq(r, "shard", "ok")
+	if buf, err := json.Marshal(rep); err == nil {
+		w.Header().Set("X-Sptc-Report", string(buf))
+	}
+	w.Header().Set("Content-Type", "application/x-sptn")
+	// The connection is gone if this fails; nothing useful to do.
+	_ = z.WriteBin(w)
 }
 
 // contractStreamed runs the degrade tier: X (already resident) is permuted

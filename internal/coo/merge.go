@@ -69,8 +69,15 @@ func disjointAscending(runs []*Tensor) bool {
 	return true
 }
 
-// kwayMerge is the defensive slow path: a linear loser-select over the run
-// cursors (k is small — one cursor per window), summing duplicates.
+// kwayMerge is the general path for overlapping or interleaved runs: a
+// loser-select over the run cursors that advances the winning run in blocks.
+// The winner can emit every element strictly below the runner-up's head in
+// one bulk copy (binary search for the span end), so k pairwise-disjoint but
+// interleaved runs — the sharded coordinator's per-shard outputs — merge in
+// O(total + spans·(k + log n)) instead of O(total·k·order) tuple compares.
+// Equal heads (cross-run duplicate coordinates) fall back to one-element
+// steps that sum into the tail, preserving the summing semantics of the
+// original element-wise merge.
 func kwayMerge(z *Tensor, runs []*Tensor, total int) *Tensor {
 	for m := range z.Inds {
 		z.Inds[m] = make([]uint32, 0, total)
@@ -79,31 +86,105 @@ func kwayMerge(z *Tensor, runs []*Tensor, total int) *Tensor {
 	cur := make([]int, len(runs))
 	tup := make([]uint32, z.Order())
 	for {
-		best := -1
+		// best = run with the smallest head, second = runner-up head.
+		best, second := -1, -1
 		for r, c := range cur {
 			if c >= runs[r].NNZ() {
 				continue
 			}
-			if best < 0 || runLess(runs[r], c, runs[best], cur[best]) {
+			switch {
+			case best < 0 || runLess(runs[r], c, runs[best], cur[best]):
+				second = best
 				best = r
+			case second < 0 || runLess(runs[r], c, runs[second], cur[second]):
+				second = r
 			}
 		}
 		if best < 0 {
 			return z
 		}
-		runs[best].Index(cur[best], tup)
-		v := runs[best].Vals[cur[best]]
-		cur[best]++
-		n := z.NNZ()
-		if n > 0 && sameTuple(z, n-1, tup) {
-			z.Vals[n-1] += v
+		end := runs[best].NNZ()
+		if second >= 0 {
+			end = searchBelow(runs[best], cur[best], end, runs[second], cur[second])
+		}
+		if end == cur[best] {
+			// best's head equals second's head: one-element step with
+			// duplicate summing.
+			emitOne(z, runs[best], cur[best], tup)
+			cur[best]++
 			continue
 		}
-		for m := range z.Inds {
-			z.Inds[m] = append(z.Inds[m], tup[m])
-		}
-		z.Vals = append(z.Vals, v)
+		appendSpan(z, runs[best], cur[best], end, tup)
+		cur[best] = end
 	}
+}
+
+// searchBelow returns the first index in r's [lo,hi) whose tuple is not less
+// than element j of run b — the end of the span r may bulk-emit while every
+// other live head is >= b's head.
+func searchBelow(r *Tensor, lo, hi int, b *Tensor, j int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if runLess(r, mid, b, j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// emitOne appends element i of run r to z, summing into the tail when the
+// coordinate repeats.
+func emitOne(z *Tensor, r *Tensor, i int, tup []uint32) {
+	r.Index(i, tup)
+	v := r.Vals[i]
+	if n := z.NNZ(); n > 0 && sameTuple(z, n-1, tup) {
+		z.Vals[n-1] += v
+		return
+	}
+	for m := range z.Inds {
+		z.Inds[m] = append(z.Inds[m], tup[m])
+	}
+	z.Vals = append(z.Vals, v)
+}
+
+// appendSpan bulk-copies r's [lo,hi) onto z. The span is strictly below every
+// other run's head, but it may still duplicate z's tail (a coordinate already
+// emitted via the equal-heads path) or repeat coordinates internally (a
+// producer that emitted duplicates within one run); either case falls back to
+// element-wise emission so values keep summing exactly as before.
+func appendSpan(z *Tensor, r *Tensor, lo, hi int, tup []uint32) {
+	clean := true
+	if n := z.NNZ(); n > 0 {
+		r.Index(lo, tup)
+		clean = !sameTuple(z, n-1, tup)
+	}
+	for i := lo + 1; clean && i < hi; i++ {
+		if runSame(r, i-1, i) {
+			clean = false
+		}
+	}
+	if !clean {
+		for i := lo; i < hi; i++ {
+			emitOne(z, r, i, tup)
+		}
+		return
+	}
+	for m := range z.Inds {
+		z.Inds[m] = append(z.Inds[m], r.Inds[m][lo:hi]...)
+	}
+	z.Vals = append(z.Vals, r.Vals[lo:hi]...)
+}
+
+// runSame reports whether elements i and j of run r share a coordinate.
+func runSame(r *Tensor, i, j int) bool {
+	for m := range r.Inds {
+		if r.Inds[m][i] != r.Inds[m][j] {
+			return false
+		}
+	}
+	return true
 }
 
 // runLess compares element i of run a with element j of run b.

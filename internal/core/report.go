@@ -195,6 +195,24 @@ type Report struct {
 	Windows  int
 	SpilledZ bool
 
+	// Shards is how many shard contractions a distributed coordinator
+	// (internal/dist) fanned this request out to; 0 means a single-process
+	// run. On a sharded report the stage walls are maxima across shards
+	// (the scatter/gather critical path), the CPU sums and operation
+	// counters are summed, and the partition/merge walls below are folded
+	// into StageInput and StageWrite respectively so Total() stays
+	// end-to-end.
+	Shards int
+	// ShardRetries counts shard attempts that failed and were re-dispatched
+	// to another executor before the request succeeded.
+	ShardRetries int
+	// PartitionWall is the coordinator's X scatter time (hash free-mode
+	// tuples, count, and stable-scatter into per-shard tensors).
+	PartitionWall time.Duration
+	// MergeWall is the coordinator's k-way merge of the per-shard sorted Z
+	// runs.
+	MergeWall time.Duration
+
 	// PlannedOrder is the contraction-order planner's subtree expression
 	// for this step ("(A×B)" over input names); empty when the chain ran
 	// in its written order.

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"fmt"
+
+	"sparta/internal/coo"
+	"sparta/internal/parallel"
+)
+
+// partitionSeed domain-separates key hashes from the ring's point hashes.
+const partitionSeed = 0x2545f4914f6cdd1d
+
+// maxShards bounds the fan-out so the per-nonzero shard map fits in a byte.
+const maxShards = 256
+
+// Partition scatters x's non-zeros into one tensor per ring shard, keyed by
+// a mix64 chain over each non-zero's free-mode indices (the modes not in
+// cmodesX, in original mode order). Every non-zero of one free-mode
+// sub-tensor therefore lands on the same shard — the invariant that makes
+// the per-shard sorted Z runs pairwise disjoint and the merged output
+// bitwise identical to the one-shot contraction (see the package comment).
+//
+// The scatter is stable: within each shard, non-zeros keep x's original
+// relative order (two counting passes with per-worker offsets, both split
+// over identical chunks). A fully contracted X has no free modes, hashes to
+// one constant key, and lands whole on a single shard. x itself is never
+// mutated; the returned tensors share no storage with it.
+func Partition(x *coo.Tensor, cmodesX []int, ring *Ring, threads int) ([]*coo.Tensor, error) {
+	if x == nil {
+		return nil, fmt.Errorf("dist: nil X tensor")
+	}
+	S := ring.Shards()
+	if S > maxShards {
+		return nil, fmt.Errorf("dist: %d shards exceeds the partitioner's cap of %d", S, maxShards)
+	}
+	order := x.Order()
+	inX := make([]bool, order)
+	for _, m := range cmodesX {
+		if m < 0 || m >= order {
+			return nil, fmt.Errorf("dist: contract mode %d out of range for order-%d X", m, order)
+		}
+		if inX[m] {
+			return nil, fmt.Errorf("dist: duplicate contract mode %d", m)
+		}
+		inX[m] = true
+	}
+	var free []int
+	for m := 0; m < order; m++ {
+		if !inX[m] {
+			free = append(free, m)
+		}
+	}
+
+	n := x.NNZ()
+	parts := make([]*coo.Tensor, S)
+	for s := range parts {
+		p, err := coo.New(x.Dims, 0)
+		if err != nil {
+			return nil, err
+		}
+		parts[s] = p
+	}
+	if n == 0 {
+		return parts, nil
+	}
+
+	// Pass 1: hash every non-zero's free tuple, record its shard, count per
+	// (worker, shard). Both parallel.For calls use the same (threads, n)
+	// pair, so the static chunk boundaries are identical across passes.
+	threads = parallel.ClampWork(threads, n, int64(n))
+	shard := make([]uint8, n)
+	counts := make([][]int, threads)
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		cnt := make([]int, S)
+		for i := lo; i < hi; i++ {
+			h := uint64(partitionSeed)
+			for _, m := range free {
+				h = mix64(h ^ uint64(x.Inds[m][i]))
+			}
+			s := ring.Owner(h)
+			shard[i] = uint8(s)
+			cnt[s]++
+		}
+		counts[tid] = cnt
+	})
+
+	// Per-worker write offsets: worker tid's slice of shard s starts after
+	// every earlier worker's slice — chunk-major order is original order.
+	off := make([][]int, threads)
+	sizes := make([]int, S)
+	for tid := 0; tid < threads; tid++ {
+		off[tid] = make([]int, S)
+		for s := 0; s < S; s++ {
+			off[tid][s] = sizes[s]
+			sizes[s] += counts[tid][s]
+		}
+	}
+	for s, p := range parts {
+		for m := range p.Inds {
+			p.Inds[m] = make([]uint32, sizes[s])
+		}
+		p.Vals = make([]float64, sizes[s])
+	}
+
+	// Pass 2: stable scatter into the pre-sized columns.
+	parallel.For(threads, n, func(tid, lo, hi int) {
+		pos := append([]int(nil), off[tid]...)
+		for i := lo; i < hi; i++ {
+			s := shard[i]
+			p := parts[s]
+			j := pos[s]
+			pos[s] = j + 1
+			for m := 0; m < order; m++ {
+				p.Inds[m][j] = x.Inds[m][i]
+			}
+			p.Vals[j] = x.Vals[i]
+		}
+	})
+	return parts, nil
+}

@@ -251,6 +251,19 @@ func WithReq(ctx context.Context, rt *ReqTrace) context.Context {
 	return context.WithValue(ctx, reqKeyVal, rt)
 }
 
+// DetachReq returns ctx without its request trace (ctx unchanged when none
+// is attached). The sharded coordinator's fan-out legs run concurrently, and
+// core's stage spans assume exclusive ownership of the request's trace track
+// — so each leg detaches the trace and the coordinator folds the per-shard
+// walls back onto the parent as summary phases (AddPhase is mutex-guarded
+// and safe from the gather goroutines).
+func DetachReq(ctx context.Context) context.Context {
+	if ReqFrom(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, reqKeyVal, (*ReqTrace)(nil))
+}
+
 // ReqFrom extracts the request trace from ctx (nil when absent). Layers
 // below the HTTP handler — the engine's prepare path, core's stage spans —
 // consult this so per-request span trees need no extra plumbing through
